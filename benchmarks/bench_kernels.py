@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the numerical kernels (these use pytest-benchmark's
+normal multi-round timing since each call is fast)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import gauss_jordan_invert
+from repro.linalg import invert_lower, invert_upper, lu_decompose
+from repro.linalg.blockwrap import block_wrap_multiply, naive_multiply
+from repro.workloads import random_dense
+
+
+@pytest.fixture(scope="module")
+def matrix_256():
+    return random_dense(256, seed=0) + 0.1 * np.eye(256)
+
+
+@pytest.fixture(scope="module")
+def lower_256(matrix_256):
+    return lu_decompose(matrix_256).lower()
+
+
+def test_lu_decompose_256(benchmark, matrix_256):
+    res = benchmark(lu_decompose, matrix_256)
+    assert res.n == 256
+
+
+def test_gauss_jordan_256(benchmark, matrix_256):
+    inv = benchmark(gauss_jordan_invert, matrix_256)
+    assert np.allclose(matrix_256 @ inv, np.eye(256), atol=1e-7)
+
+
+def test_invert_lower_256(benchmark, lower_256):
+    inv = benchmark(invert_lower, lower_256)
+    assert np.allclose(lower_256 @ inv, np.eye(256), atol=1e-8)
+
+
+def test_invert_upper_via_transpose_256(benchmark, lower_256):
+    upper = lower_256.T
+    inv = benchmark(invert_upper, upper)
+    assert np.allclose(upper @ inv, np.eye(256), atol=1e-8)
+
+
+@pytest.mark.parametrize("scheme", [naive_multiply, block_wrap_multiply], ids=["naive", "block_wrap"])
+def test_distributed_multiply_512(benchmark, scheme):
+    a = random_dense(512, seed=1)
+    b = random_dense(512, seed=2)
+    out, stats = benchmark(scheme, a, b, 16)
+    assert out.shape == (512, 512)
+    benchmark.extra_info["elements_read"] = stats.total_elements_read

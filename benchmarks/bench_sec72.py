@@ -1,0 +1,25 @@
+"""Section 7.2 — numerical accuracy, regenerated.
+
+The paper checks max |I - M M^-1| < 1e-5 for M1, M2, M3, M5 in double
+precision; reproduced at working scale with the same bound.
+"""
+
+from repro.experiments import sec72
+
+from conftest import once
+
+
+def test_sec72_accuracy(benchmark, harness):
+    res = once(
+        benchmark,
+        sec72.run,
+        matrices=("M1", "M2", "M3", "M5"),
+        scale=128,
+        m0=4,
+        harness=harness,
+    )
+    print()
+    print(sec72.format_result(res))
+    assert res.all_pass
+    assert res.worst_residual < 1e-5
+    benchmark.extra_info["worst_residual"] = res.worst_residual

@@ -1,0 +1,15 @@
+"""Table 3 — the M1-M5 matrix suite, regenerated with executed job counts."""
+
+from repro.experiments import table3
+
+from conftest import once
+
+
+def test_table3_suite(benchmark, harness):
+    res = once(benchmark, table3.run, execute=True, scale=128, m0=4, harness=harness)
+    print()
+    print(table3.format_result(res))
+    assert res.all_job_counts_match()
+    # Spot-check the famous column: M4 takes 33 jobs.
+    m4 = next(r for r in res.rows if r.name == "M4")
+    assert m4.jobs_formula == m4.jobs_executed == 33

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite.
+
+One session-scoped :class:`ExperimentHarness` caches executed pipeline runs,
+so benchmarks that sweep node counts over the same matrices don't re-execute
+identical configurations.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentHarness
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    return ExperimentHarness()
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Replay a real pipeline run on a simulated EC2 cluster — the mechanism
+behind the paper-scale figures.
+
+Executes M5's pipeline at 1/128 linear scale, then replays the recorded task
+DAG on simulated EC2-medium clusters of increasing size with the work lifted
+to the paper's order 16384, printing a miniature Figure 6.
+
+Run with:  python examples/cluster_replay.py
+"""
+
+from repro.cluster import EC2_MEDIUM
+from repro.experiments import ExperimentHarness
+from repro.experiments.report import seconds_human
+from repro.workloads import get
+
+
+def main() -> None:
+    suite = get("M5")
+    scale = 128
+    n, nb = suite.order(scale), suite.nb(scale)
+    harness = ExperimentHarness()
+
+    print(f"M5: paper order {suite.paper_order}, executing at order {n} "
+          f"(nb={nb})\n")
+    print(f"{'nodes':>6}  {'simulated time':>15}  {'ideal':>10}  {'util':>6}")
+    t_first = None
+    for m0 in (2, 4, 8, 16, 32):
+        executed = harness.run(n, nb, m0, seed=suite.seed)
+        report = harness.replay(
+            executed, num_nodes=m0, paper_n=suite.paper_order, node=EC2_MEDIUM
+        )
+        if t_first is None:
+            t_first = report.makespan * m0
+        ideal = t_first / m0
+        print(f"{m0:>6}  {seconds_human(report.makespan):>15}  "
+              f"{seconds_human(ideal):>10}  {report.utilization:>5.0%}")
+
+    print("\nper-job timeline at 8 nodes:")
+    executed = harness.run(n, nb, 8, seed=suite.seed)
+    report = harness.replay(
+        executed, num_nodes=8, paper_n=suite.paper_order, node=EC2_MEDIUM
+    )
+    for job in report.jobs:
+        print(f"  {job.name:<26} start {job.start:9.1f}s  "
+              f"duration {job.duration:8.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""CT image reconstruction (Section 1's third motivating application):
+the detector sees T = M S; recover the material image as S = M^-1 T.
+
+Run with:  python examples/ct_reconstruction.py
+"""
+
+import numpy as np
+
+from repro.apps import CTReconstructor, projection_matrix, shepp_logan_1d
+from repro.inversion import InversionConfig
+
+
+def ascii_plot(values: np.ndarray, width: int = 60, label: str = "") -> None:
+    lo, hi = float(values.min()), float(values.max())
+    scale = (hi - lo) or 1.0
+    resampled = np.interp(
+        np.linspace(0, len(values) - 1, width), np.arange(len(values)), values
+    )
+    bars = " .:-=+*#%@"
+    line = "".join(bars[int((v - lo) / scale * (len(bars) - 1))] for v in resampled)
+    print(f"  {label:<14} |{line}|")
+
+
+def main() -> None:
+    n = 192  # detector/pixel count
+
+    print(f"building a synthetic {n}x{n} projection operator...")
+    m = projection_matrix(n, rays_per_pixel=4, seed=3)
+
+    print("inverting the projection matrix on the MapReduce pipeline...")
+    ct = CTReconstructor(m, InversionConfig(nb=48, m0=4))
+
+    phantom = shepp_logan_1d(n)
+    detector = ct.scan(phantom, noise=0.0)
+    report = ct.reconstruct(detector, phantom)
+
+    print(f"\nrelative reconstruction error: {report.relative_error:.2e}")
+    print(f"max pixel error:               {report.max_abs_error:.2e}\n")
+    ascii_plot(phantom, label="phantom")
+    ascii_plot(detector, label="detector (MS)")
+    ascii_plot(report.reconstructed, label="reconstructed")
+
+    # With detector noise the inverse amplifies but stays usable.
+    noisy = ct.scan(phantom, noise=1e-4, seed=9)
+    noisy_report = ct.reconstruct(noisy, phantom)
+    print(f"\nwith detector noise 1e-4: relative error "
+          f"{noisy_report.relative_error:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Eigenpair refinement by inverse iteration (Section 1's second motivating
+application): v_{k+1} = (A - mu I)^-1 v_k / ||...||, with the shifted inverse
+computed by the MapReduce pipeline.
+
+Run with:  python examples/eigen_inverse_iteration.py
+"""
+
+import numpy as np
+
+from repro.apps import inverse_iteration
+from repro.inversion import InversionConfig
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 160
+    g = rng.standard_normal((n, n))
+    a = g + g.T  # symmetric, real spectrum
+
+    true_eigs = np.linalg.eigvalsh(a)
+    # A rough eigenvalue estimate: the largest eigenvalue plus noise, as one
+    # might get from a few power-method steps.
+    mu = true_eigs[-1] * 1.02
+
+    print(f"refining the eigenvalue nearest mu = {mu:.4f} "
+          f"(true value {true_eigs[-1]:.6f})")
+    result = inverse_iteration(a, mu, config=InversionConfig(nb=40, m0=4), seed=0)
+
+    print(f"converged:      {result.converged} in {result.iterations} iterations")
+    print(f"eigenvalue:     {result.eigenvalue:.12f}")
+    print(f"true value:     {true_eigs[-1]:.12f}")
+    print(f"|A v - λ v|:    {result.residual(a):.3e}")
+    print("\nRayleigh-quotient history (last 5):")
+    for lam in result.history[-5:]:
+        print(f"  {lam:.12f}")
+
+
+if __name__ == "__main__":
+    main()

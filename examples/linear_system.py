@@ -1,0 +1,38 @@
+"""Solving linear systems with the distributed inverse (Section 1's first
+motivating application): invert once, serve many right-hand sides.
+
+Run with:  python examples/linear_system.py
+"""
+
+import numpy as np
+
+from repro.apps import LinearSolver
+from repro.inversion import InversionConfig
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n = 200
+
+    # A diagonally dominant system (e.g. a discretized PDE operator).
+    a = rng.uniform(-1, 1, (n, n))
+    np.fill_diagonal(a, np.abs(a).sum(axis=1) + 1.0)
+
+    print(f"inverting the {n}x{n} operator through the MapReduce pipeline...")
+    solver = LinearSolver(a, InversionConfig(nb=50, m0=4))
+    print(f"pipeline ran {solver.result.num_jobs} jobs; "
+          f"residual {solver.result.residual(a):.2e}")
+
+    # Serve a batch of right-hand sides with plain matrix-vector products.
+    print("\nsolving 5 right-hand sides against the cached inverse:")
+    for k in range(5):
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        report = solver.solve(b)
+        err = np.max(np.abs(report.x - x_true))
+        print(f"  rhs {k}: relative residual {report.residual_norm:.2e}, "
+              f"max error vs truth {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

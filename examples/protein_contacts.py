@@ -1,0 +1,55 @@
+"""Protein-contact prediction via precision-matrix estimation (Section 1's
+bioinformatics motivation, after Marks et al. 2011): direct couplings are the
+large off-diagonal entries of the *inverse* covariance.
+
+Run with:  python examples/protein_contacts.py
+"""
+
+import numpy as np
+
+from repro.apps import (
+    precision_from_contacts,
+    predict_contacts,
+    sample_observations,
+    synthetic_contacts,
+)
+from repro.inversion import InversionConfig
+
+
+def main() -> None:
+    n_sites, n_contacts, n_samples = 60, 15, 20_000
+
+    print(f"synthetic protein: {n_sites} sites, {n_contacts} true contacts, "
+          f"{n_samples} sequence samples")
+    contacts = synthetic_contacts(n_sites, n_contacts, seed=11)
+    precision = precision_from_contacts(n_sites, contacts)
+    samples = sample_observations(precision, n_samples, seed=12)
+
+    print("inverting the empirical covariance on the MapReduce pipeline...")
+    prediction = predict_contacts(
+        samples, n_contacts, true_contacts=contacts,
+        config=InversionConfig(nb=16, m0=4),
+    )
+
+    print(f"\ntop-{n_contacts} precision: {prediction.true_positive_rate:.0%} "
+          "of predicted couplings are true contacts")
+    truth = set(contacts)
+    print("\npredicted couplings (* = true contact):")
+    for i, j in prediction.predicted:
+        mark = "*" if (i, j) in truth else " "
+        print(f"  {mark} ({i:2d}, {j:2d})")
+
+    # Contrast: ranking by raw covariance conflates transitive correlations.
+    cov = np.cov(samples.T)
+    raw_scores = sorted(
+        ((abs(cov[i, j]), i, j) for i in range(n_sites) for j in range(i + 2, n_sites)),
+        reverse=True,
+    )[:n_contacts]
+    raw_hits = sum(1 for _, i, j in raw_scores if (i, j) in truth)
+    print(f"\nraw-covariance baseline: {raw_hits}/{n_contacts} correct "
+          f"(precision-matrix ranking: "
+          f"{int(prediction.true_positive_rate * n_contacts)}/{n_contacts})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""The Section 8 future work, running: block-LU inversion on the in-memory
+RDD engine, compared against the Hadoop-style pipeline.
+
+Run with:  python examples/spark_inversion.py
+"""
+
+import numpy as np
+
+from repro import InversionConfig, invert
+from repro.spark import SparkContext, SparkInversionConfig, SparkMatrixInverter
+
+
+def main() -> None:
+    rng = np.random.default_rng(8)
+    n = 160
+    a = rng.random((n, n)) + 0.1 * np.eye(n)
+
+    print("Hadoop-style pipeline (intermediates on the DFS):")
+    hadoop = invert(a, InversionConfig(nb=40, m0=4))
+    print(f"  residual {hadoop.residual(a):.2e}, "
+          f"DFS reads {hadoop.io.bytes_read / 1e6:.1f} MB")
+
+    print("\nSpark-style port (intermediates in cached RDD partitions):")
+    sc = SparkContext()
+    inverter = SparkMatrixInverter(SparkInversionConfig(nb=40, chunks=4), sc=sc)
+    spark = inverter.invert(a)
+    print(f"  residual {spark.residual(a):.2e}, "
+          f"external reads {spark.external_bytes_read / 1e6:.2f} MB "
+          f"(input only), shuffle {spark.metrics.shuffle_bytes / 1e6:.1f} MB, "
+          f"broadcast {spark.metrics.broadcast_bytes / 1e6:.2f} MB")
+    print(f"  cached partitions: {spark.cached_partitions}")
+
+    reduction = hadoop.io.bytes_read / spark.external_bytes_read
+    print(f"\nexternal read I/O reduced {reduction:.0f}x — the paper's "
+          "Section 8 prediction")
+    assert np.allclose(hadoop.inverse, spark.inverse, atol=1e-9)
+    print("both engines produce the same inverse ✓")
+
+    # Lineage-based fault tolerance: lose a cached partition, recompute.
+    l2 = inverter.intermediates["/Root/L2"]
+    sc.evict(l2, 0)
+    l2.collect()
+    print(f"after evicting a cached L2' partition: "
+          f"{sc.metrics.recomputations} partition(s) recomputed via lineage ✓")
+
+
+if __name__ == "__main__":
+    main()

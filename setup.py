@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 517
+editable installs (which build a wheel) fail.  Keeping a ``setup.py`` and no
+``[build-system]`` table lets ``pip install -e .`` take the legacy
+``setup.py develop`` path, which works offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of *Scalable Matrix Inversion Using MapReduce*
+(Xiang, Meng, Aboulnaga; HPDC 2014).
+
+The package implements the paper's contribution — recursive block-LU matrix
+inversion as a pipeline of MapReduce jobs — together with every substrate it
+runs on (a MapReduce engine, an HDFS-like DFS, a cluster simulator) and the
+baselines it is evaluated against (a ScaLAPACK-style MPI implementation,
+Gauss-Jordan elimination).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import invert
+>>> rng = np.random.default_rng(0)
+>>> a = rng.standard_normal((128, 128))
+>>> result = invert(a)
+>>> np.max(np.abs(np.eye(128) - a @ result.inverse)) < 1e-8
+True
+"""
+
+from .inversion import InversionConfig, InversionResult, MatrixInverter, invert
+from .linalg import lu_decompose, LUResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InversionConfig",
+    "InversionResult",
+    "MatrixInverter",
+    "LUResult",
+    "invert",
+    "lu_decompose",
+    "__version__",
+]

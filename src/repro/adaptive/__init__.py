@@ -1,0 +1,20 @@
+"""Adaptive backend selection (Section 8's 'choose ScaLAPACK or MapReduce
+per input matrix' future work)."""
+
+from .selector import (
+    AdaptiveResult,
+    Backend,
+    Decision,
+    adaptive_invert,
+    choose_backend,
+    scalapack_fits,
+)
+
+__all__ = [
+    "AdaptiveResult",
+    "Backend",
+    "Decision",
+    "adaptive_invert",
+    "choose_backend",
+    "scalapack_fits",
+]

@@ -1,0 +1,149 @@
+"""Adaptive backend selection — the paper's second future-work direction.
+
+Section 8: with resource managers like YARN/Mesos running MPI alongside
+MapReduce, "it would be interesting to investigate the conditions under which
+to use ScaLAPACK or MapReduce for matrix inversion, and to implement a system
+to adaptively choose the best matrix inversion technique for an input
+matrix."
+
+The selector evaluates the calibrated running-time models of both systems for
+the given matrix order and cluster, applies the feasibility constraints the
+models encode (ScaLAPACK must fit in aggregate memory; tiny matrices are
+cheapest on a single node), and dispatches to the chosen engine.  The
+decision, the predicted times, and the reasoning are all returned so the
+choice is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..cluster.costmodel import (
+    BYTES_PER_ELEMENT,
+    SCALAPACK_MEMORY_FACTOR,
+    ours_time,
+    scalapack_time,
+)
+from ..cluster.nodespec import ClusterSpec
+
+Backend = Literal["single-node", "mapreduce", "scalapack"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The selector's verdict for one (matrix order, cluster) pair."""
+
+    backend: Backend
+    predicted_seconds: dict[str, float]
+    scalapack_fits_memory: bool
+    reason: str
+
+
+def scalapack_fits(n: int, cluster: ClusterSpec) -> bool:
+    """Does ScaLAPACK's in-memory working set fit in aggregate RAM?"""
+    working_set = SCALAPACK_MEMORY_FACTOR * BYTES_PER_ELEMENT * float(n) ** 2
+    return working_set <= cluster.num_nodes * cluster.node.memory_bytes
+
+
+def choose_backend(
+    n: int,
+    cluster: ClusterSpec,
+    nb: int = 3200,
+    *,
+    single_node_cutoff: int | None = None,
+) -> Decision:
+    """Pick the fastest feasible inversion backend for an order-n matrix.
+
+    ``single_node_cutoff`` defaults to ``nb``: anything the master can LU in
+    one job-launch-equivalent is fastest inverted locally.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    cutoff = single_node_cutoff if single_node_cutoff is not None else nb
+    ours = ours_time(n, cluster, nb).total
+    scala = scalapack_time(n, cluster).total
+    predicted = {"mapreduce": ours, "scalapack": scala}
+
+    if n <= cutoff:
+        return Decision(
+            backend="single-node",
+            predicted_seconds=predicted,
+            scalapack_fits_memory=scalapack_fits(n, cluster),
+            reason=f"order {n} <= cutoff {cutoff}: a single node beats any "
+            "distributed launch overhead",
+        )
+    fits = scalapack_fits(n, cluster)
+    if not fits:
+        return Decision(
+            backend="mapreduce",
+            predicted_seconds=predicted,
+            scalapack_fits_memory=False,
+            reason="ScaLAPACK working set exceeds aggregate cluster memory; "
+            "the MapReduce pipeline streams from the DFS",
+        )
+    if scala < ours:
+        return Decision(
+            backend="scalapack",
+            predicted_seconds=predicted,
+            scalapack_fits_memory=True,
+            reason=f"modeled ScaLAPACK time {scala:.0f}s beats MapReduce "
+            f"{ours:.0f}s at this scale",
+        )
+    return Decision(
+        backend="mapreduce",
+        predicted_seconds=predicted,
+        scalapack_fits_memory=True,
+        reason=f"modeled MapReduce time {ours:.0f}s beats ScaLAPACK "
+        f"{scala:.0f}s at this scale",
+    )
+
+
+@dataclass
+class AdaptiveResult:
+    inverse: np.ndarray
+    decision: Decision
+
+
+def adaptive_invert(
+    a: np.ndarray,
+    cluster: ClusterSpec,
+    *,
+    nb: int | None = None,
+    m0: int | None = None,
+) -> AdaptiveResult:
+    """Choose a backend for ``a`` on ``cluster`` and execute it at working
+    scale.
+
+    The decision uses the paper-scale cost models; execution uses the real
+    engines in this repository (the MapReduce pipeline, the MPI baseline, or
+    plain single-node LU).  ``nb``/``m0`` default to values proportionate to
+    the input.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {a.shape}")
+    n = a.shape[0]
+    eff_nb = nb if nb is not None else max(n // 8, 32)
+    eff_m0 = m0 if m0 is not None else min(max(cluster.num_nodes, 2), 8)
+    if eff_m0 % 2:
+        eff_m0 += 1
+    decision = choose_backend(n, cluster, nb=eff_nb, single_node_cutoff=eff_nb)
+
+    if decision.backend == "single-node":
+        from ..baselines.numpy_ref import numpy_invert
+
+        inverse = numpy_invert(a)
+    elif decision.backend == "scalapack":
+        from ..scalapack.driver import scalapack_invert
+
+        inverse = scalapack_invert(
+            a, nprocs=min(cluster.num_nodes, 8), block=max(eff_nb // 2, 2)
+        ).inverse
+    else:
+        from ..inversion import InversionConfig, invert
+
+        inverse = invert(a, InversionConfig(nb=eff_nb, m0=eff_m0)).inverse
+    return AdaptiveResult(inverse=inverse, decision=decision)

@@ -1,0 +1,52 @@
+"""The introduction's motivating applications, built on the public API:
+linear solving, inverse-iteration eigenpairs, CT reconstruction, and
+precision-matrix contact prediction."""
+
+from .covariance import (
+    ContactPrediction,
+    empirical_covariance,
+    precision_from_contacts,
+    predict_contacts,
+    sample_observations,
+    synthetic_contacts,
+)
+from .ct_reconstruction import (
+    CTReconstructor,
+    ReconstructionReport,
+    projection_matrix,
+    projection_matrix_2d,
+    shepp_logan_1d,
+    shepp_logan_2d,
+)
+from .inverse_iteration import EigenResult, inverse_iteration, rayleigh_quotient
+from .linear_solver import LinearSolver, SolveReport
+from .solver_comparison import (
+    ExecutedComparison,
+    StrategyComparison,
+    compare_strategies,
+    execute_both,
+)
+
+__all__ = [
+    "CTReconstructor",
+    "ContactPrediction",
+    "EigenResult",
+    "ExecutedComparison",
+    "StrategyComparison",
+    "compare_strategies",
+    "execute_both",
+    "LinearSolver",
+    "ReconstructionReport",
+    "SolveReport",
+    "empirical_covariance",
+    "inverse_iteration",
+    "precision_from_contacts",
+    "predict_contacts",
+    "projection_matrix",
+    "projection_matrix_2d",
+    "rayleigh_quotient",
+    "shepp_logan_2d",
+    "sample_observations",
+    "shepp_logan_1d",
+    "synthetic_contacts",
+]

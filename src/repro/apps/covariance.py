@@ -1,0 +1,116 @@
+"""Precision-matrix estimation (Section 1's bioinformatics motivation).
+
+Protein-contact prediction from sequence variation [Marks et al. 2011] works
+by inverting the residue covariance matrix: large entries of the *precision*
+matrix ``C^-1`` indicate direct couplings (contacts), while the raw
+covariance mixes direct and transitive correlations.  This module generates a
+synthetic "protein" with a known sparse coupling structure, estimates the
+covariance from samples, inverts it through the MapReduce pipeline, and
+scores how well the top precision entries recover the true contacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..inversion import InversionConfig, MatrixInverter
+from ..mapreduce import MapReduceRuntime
+
+
+def synthetic_contacts(n_sites: int, n_contacts: int, seed: int = 0) -> list[tuple[int, int]]:
+    """A random sparse set of off-diagonal couplings (the "true" contacts)."""
+    rng = np.random.default_rng(seed)
+    contacts: set[tuple[int, int]] = set()
+    while len(contacts) < n_contacts:
+        i, j = sorted(rng.integers(0, n_sites, 2).tolist())
+        if j > i + 1:  # skip trivial neighbours
+            contacts.add((i, j))
+    return sorted(contacts)
+
+
+def precision_from_contacts(
+    n_sites: int, contacts: list[tuple[int, int]], strength: float = 0.4
+) -> np.ndarray:
+    """Build a sparse SPD precision matrix whose off-diagonal support is the
+    contact set (a Gaussian graphical model)."""
+    prec = np.eye(n_sites)
+    for i, j in contacts:
+        prec[i, j] = prec[j, i] = -strength
+    # Diagonal loading to guarantee positive definiteness.
+    row_mass = np.sum(np.abs(prec), axis=1) - np.diag(prec)
+    np.fill_diagonal(prec, row_mass + 1.0)
+    return prec
+
+
+def sample_observations(
+    precision: np.ndarray, n_samples: int, seed: int = 0
+) -> np.ndarray:
+    """Draw samples from N(0, precision^-1) (Cholesky of the covariance)."""
+    rng = np.random.default_rng(seed)
+    cov = np.linalg.inv(precision)
+    chol = np.linalg.cholesky(cov)
+    z = rng.standard_normal((n_samples, precision.shape[0]))
+    return z @ chol.T
+
+
+def empirical_covariance(samples: np.ndarray, shrinkage: float = 0.05) -> np.ndarray:
+    """Shrinkage-regularized sample covariance (keeps it invertible when
+    samples are scarce — the situation in real sequence alignments)."""
+    x = samples - samples.mean(axis=0)
+    cov = x.T @ x / max(len(samples) - 1, 1)
+    return (1 - shrinkage) * cov + shrinkage * np.eye(cov.shape[0])
+
+
+@dataclass
+class ContactPrediction:
+    """Predicted contacts and their accuracy against the ground truth."""
+
+    predicted: list[tuple[int, int]]
+    true_contacts: list[tuple[int, int]]
+    precision_matrix: np.ndarray
+
+    @property
+    def true_positive_rate(self) -> float:
+        truth = set(self.true_contacts)
+        if not self.predicted:
+            return 0.0
+        hits = sum(1 for c in self.predicted if c in truth)
+        return hits / len(self.predicted)
+
+
+def predict_contacts(
+    samples: np.ndarray,
+    n_predictions: int,
+    *,
+    true_contacts: list[tuple[int, int]] | None = None,
+    config: InversionConfig | None = None,
+    runtime: MapReduceRuntime | None = None,
+) -> ContactPrediction:
+    """Invert the empirical covariance on the pipeline and rank couplings.
+
+    The top ``n_predictions`` off-diagonal precision entries (by absolute
+    partial correlation, skipping adjacent sites) are the predicted contacts.
+    """
+    cov = empirical_covariance(samples)
+    inverter = MatrixInverter(config=config, runtime=runtime)
+    try:
+        prec = inverter.invert(cov).inverse
+    finally:
+        inverter.close()
+    # Partial correlations from the precision matrix.
+    d = np.sqrt(np.diag(prec))
+    partial = -prec / np.outer(d, d)
+    n = prec.shape[0]
+    scores: list[tuple[float, int, int]] = []
+    for i in range(n):
+        for j in range(i + 2, n):  # skip self and trivial neighbours
+            scores.append((abs(partial[i, j]), i, j))
+    scores.sort(reverse=True)
+    predicted = [(i, j) for _, i, j in scores[:n_predictions]]
+    return ContactPrediction(
+        predicted=predicted,
+        true_contacts=true_contacts or [],
+        precision_matrix=prec,
+    )

@@ -1,0 +1,23 @@
+"""Baseline inversion methods: Gauss-Jordan (Section 2's rejected candidate,
+with its MapReduce job-count model) and single-node LAPACK/SVD/QR references."""
+
+from .gauss_jordan import (
+    gauss_jordan_invert,
+    gauss_jordan_mapreduce_jobs,
+    gauss_jordan_solve,
+    method_job_counts,
+    qr_mapreduce_jobs,
+)
+from .numpy_ref import lapack_lu, numpy_invert, qr_invert, svd_invert
+
+__all__ = [
+    "gauss_jordan_invert",
+    "gauss_jordan_mapreduce_jobs",
+    "gauss_jordan_solve",
+    "lapack_lu",
+    "method_job_counts",
+    "numpy_invert",
+    "qr_invert",
+    "qr_mapreduce_jobs",
+    "svd_invert",
+]

@@ -1,0 +1,42 @@
+"""Single-node reference implementations (LAPACK via NumPy/SciPy).
+
+The ground truth every distributed result is checked against, plus the other
+single-node inversion methods Section 2 surveys (SVD- and QR-based) so tests
+can confirm they agree with each other and with the pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+
+def numpy_invert(a: np.ndarray) -> np.ndarray:
+    """LAPACK GETRF/GETRI through NumPy."""
+    return np.linalg.inv(np.asarray(a, dtype=np.float64))
+
+
+def svd_invert(a: np.ndarray, rcond: float = 1e-12) -> np.ndarray:
+    """Section 2's SVD method: ``A^-1 = V W^-1 U^T``."""
+    u, w, vt = np.linalg.svd(np.asarray(a, dtype=np.float64))
+    if np.any(w <= rcond * w[0]):
+        raise np.linalg.LinAlgError("matrix singular to working precision (SVD)")
+    return (vt.T / w) @ u.T
+
+
+def qr_invert(a: np.ndarray) -> np.ndarray:
+    """Section 2's QR method: ``A^-1 = R^-1 Q^T``."""
+    q, r = np.linalg.qr(np.asarray(a, dtype=np.float64))
+    if np.any(np.abs(np.diag(r)) == 0.0):
+        raise np.linalg.LinAlgError("matrix singular to working precision (QR)")
+    return scipy.linalg.solve_triangular(r, q.T)
+
+
+def lapack_lu(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """SciPy's pivoted LU, returned as (P-as-matrix-free perm array, L, U)
+    with the same ``P A = L U`` convention as the rest of the package."""
+    p, lower, upper = scipy.linalg.lu(np.asarray(a, dtype=np.float64))
+    # scipy returns A = P L U with P a permutation matrix: PA-convention perm
+    # array s satisfies a[s] = lower @ upper.
+    s = np.argmax(p.T, axis=1).astype(np.int64)
+    return s, lower, upper

@@ -1,0 +1,52 @@
+"""EC2-style cluster substrate: hardware specs, the Table 1/2 analytic cost
+model, and an event-driven simulator that replays executed pipeline traces at
+paper scale (the engine behind Figures 6-8 and Sections 7.4/7.5)."""
+
+from .costmodel import (
+    CostTerms,
+    TimeBreakdown,
+    ideal_time,
+    ours_inversion_cost,
+    ours_lu_cost,
+    ours_time,
+    ours_total_cost,
+    scalapack_inversion_cost,
+    scalapack_lu_cost,
+    scalapack_time,
+    scalapack_total_cost,
+    table1_l,
+    table2_l,
+)
+from .nodespec import EC2_LARGE, EC2_MEDIUM, ClusterSpec, NodeSpec
+from .simulator import (
+    ScaleFactors,
+    SimulatedJob,
+    SimulationReport,
+    simulate_record,
+    task_duration,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "CostTerms",
+    "EC2_LARGE",
+    "EC2_MEDIUM",
+    "NodeSpec",
+    "ScaleFactors",
+    "SimulatedJob",
+    "SimulationReport",
+    "TimeBreakdown",
+    "ideal_time",
+    "ours_inversion_cost",
+    "ours_lu_cost",
+    "ours_time",
+    "ours_total_cost",
+    "scalapack_inversion_cost",
+    "scalapack_lu_cost",
+    "scalapack_time",
+    "scalapack_total_cost",
+    "simulate_record",
+    "table1_l",
+    "table2_l",
+    "task_duration",
+]

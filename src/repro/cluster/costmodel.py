@@ -1,0 +1,284 @@
+"""The analytic cost model of Tables 1 and 2, and the running-time models
+built on it.
+
+Element-count formulas (n x n matrix, m0 = f1 x f2 nodes):
+
+========================  =========  ============  ============  ========
+stage                     write      read          transfer      mults
+========================  =========  ============  ============  ========
+ours, LU (Table 1)        3/2 n^2    (l+3) n^2     (l+3) n^2     n^3/3
+ScaLAPACK, LU             n^2        n^2           2/3 m0 n^2    n^3/3
+ours, inversion (Table 2) 2 n^2      l' n^2        (l'+2) n^2    2/3 n^3
+ScaLAPACK, inversion      n^2        m0 n^2        m0 n^2        2/3 n^3
+========================  =========  ============  ============  ========
+
+with ``l = (m0 + 2 f1 + 2 f2) / 4`` and ``l' = (m0 + f1 + f2) / 2``; adds
+equal mults everywhere.
+
+Running-time models combine these with a :class:`ClusterSpec`:
+
+* **ours** — per-node disk/network time + parallel compute + the two serial
+  components the paper discusses: job-launch overhead (x number of jobs,
+  Figure 6's deviation from ideal) and the master's serial LU of the 2^d
+  leaf blocks (the nb trade-off of Section 5);
+* **ScaLAPACK** — parallel compute + its Table-1/2 traffic, plus two
+  documented degradations the paper attributes its poor scaling to
+  (Section 7.5: "transfers large amounts of data over the network ...
+  MapReduce scheduling is more effective at keeping the workers busy"):
+  a per-panel collective-synchronization term that grows with log(m0), and a
+  memory-spill penalty when the distributed factorization no longer fits in
+  aggregate RAM (ScaLAPACK keeps everything in memory — Table 1's "data read
+  only once" — so exceeding RAM is catastrophic, which is how a 48-hour run
+  on 64 medium instances arises for an 80 GB matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..inversion.plan import depth, total_job_count
+from ..linalg.blockwrap import factor_grid
+from .nodespec import ClusterSpec
+
+BYTES_PER_ELEMENT = 8
+#: ScaLAPACK's working set per matrix element: factorization and inversion
+#: run (mostly) in place, plus panel workspace and communication buffers
+#: (~1.5 copies of the matrix in flight).
+SCALAPACK_MEMORY_FACTOR = 1.5
+#: Effective slowdown of spill I/O versus sequential disk: paging is random
+#: 4 KB-granular traffic on virtualized EBS storage, not streaming.
+SPILL_RANDOM_IO_PENALTY = 40.0
+#: Panel width used by the paper's ScaLAPACK runs (Section 7.5: 128x128
+#: blocks gave the best performance).
+SCALAPACK_PANEL = 128
+#: ScaLAPACK's per-flop advantage over the Hadoop pipeline: native
+#: Fortran/BLAS versus Java map/reduce tasks.  Calibrated together with
+#: BARRIER_IMBALANCE so the Section 7.5 anchors hold (M4: ours 15 h vs
+#: ScaLAPACK >48 h on 64 medium instances; 5 h vs 8 h on 256 cores) — this
+#: is what makes ScaLAPACK *faster* at small scale (Figure 8 ratios < 1).
+SCALAPACK_COMPUTE_ADVANTAGE = 1.6
+#: Per-panel barrier straggler inflation.  PDGETRF/PDGETRI execute thousands
+#: of globally synchronized panel steps; on virtualized EC2 nodes every
+#: barrier waits for the slowest participant, and the expected penalty grows
+#: with the participant count (sublinearly — heavy-tailed hiccups, partially
+#: overlapped panels).  MapReduce tasks synchronize only at job boundaries
+#: and reschedule around slow nodes, which is the paper's "MapReduce
+#: scheduling is more effective ... at keeping the workers busy"
+#: (Section 7.5).  ``straggler(m0) = 1 + 0.055 (m0-1)^0.7``, calibrated
+#: against the same anchors.
+BARRIER_IMBALANCE = 0.055
+BARRIER_IMBALANCE_EXPONENT = 0.7
+
+
+def straggler_factor(m0: int) -> float:
+    """Barrier-synchronization inflation on ScaLAPACK's critical path."""
+    return 1.0 + BARRIER_IMBALANCE * max(m0 - 1, 0) ** BARRIER_IMBALANCE_EXPONENT
+
+
+@dataclass(frozen=True)
+class CostTerms:
+    """Element/flop counts for one stage."""
+
+    write: float
+    read: float
+    transfer: float
+    mults: float
+    adds: float
+
+    def __add__(self, other: "CostTerms") -> "CostTerms":
+        return CostTerms(
+            self.write + other.write,
+            self.read + other.read,
+            self.transfer + other.transfer,
+            self.mults + other.mults,
+            self.adds + other.adds,
+        )
+
+    @property
+    def flops(self) -> float:
+        return self.mults + self.adds
+
+    @property
+    def io_elements(self) -> float:
+        return self.write + self.read
+
+
+def table1_l(m0: int) -> float:
+    """Table 1's ``l = (m0 + 2 f1 + 2 f2) / 4``."""
+    f1, f2 = factor_grid(m0)
+    return (m0 + 2 * f1 + 2 * f2) / 4.0
+
+
+def table2_l(m0: int) -> float:
+    """Table 2's ``l = (m0 + f1 + f2) / 2``."""
+    f1, f2 = factor_grid(m0)
+    return (m0 + f1 + f2) / 2.0
+
+
+def ours_lu_cost(n: int, m0: int) -> CostTerms:
+    """Table 1, our algorithm's row."""
+    n2 = float(n) * n
+    n3 = float(n) ** 3
+    l = table1_l(m0)
+    return CostTerms(
+        write=1.5 * n2,
+        read=(l + 3) * n2,
+        transfer=(l + 3) * n2,
+        mults=n3 / 3,
+        adds=n3 / 3,
+    )
+
+
+def scalapack_lu_cost(n: int, m0: int) -> CostTerms:
+    """Table 1, ScaLAPACK's row."""
+    n2 = float(n) * n
+    n3 = float(n) ** 3
+    return CostTerms(
+        write=n2,
+        read=n2,
+        transfer=(2.0 / 3.0) * m0 * n2,
+        mults=n3 / 3,
+        adds=n3 / 3,
+    )
+
+
+def ours_inversion_cost(n: int, m0: int) -> CostTerms:
+    """Table 2, our algorithm's row (triangular inverses + final product)."""
+    n2 = float(n) * n
+    n3 = float(n) ** 3
+    l = table2_l(m0)
+    return CostTerms(
+        write=2 * n2,
+        read=l * n2,
+        transfer=(l + 2) * n2,
+        mults=(2.0 / 3.0) * n3,
+        adds=(2.0 / 3.0) * n3,
+    )
+
+
+def scalapack_inversion_cost(n: int, m0: int) -> CostTerms:
+    """Table 2, ScaLAPACK's row."""
+    n2 = float(n) * n
+    n3 = float(n) ** 3
+    return CostTerms(
+        write=n2,
+        read=m0 * n2,
+        transfer=m0 * n2,
+        mults=(2.0 / 3.0) * n3,
+        adds=(2.0 / 3.0) * n3,
+    )
+
+
+def ours_total_cost(n: int, m0: int) -> CostTerms:
+    return ours_lu_cost(n, m0) + ours_inversion_cost(n, m0)
+
+
+def scalapack_total_cost(n: int, m0: int) -> CostTerms:
+    return scalapack_lu_cost(n, m0) + scalapack_inversion_cost(n, m0)
+
+
+# -- running-time models ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Seconds per component of a modeled run."""
+
+    compute: float
+    disk: float
+    network: float
+    launch: float = 0.0
+    master_serial: float = 0.0
+    sync: float = 0.0
+    spill: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compute
+            + self.disk
+            + self.network
+            + self.launch
+            + self.master_serial
+            + self.sync
+            + self.spill
+        )
+
+
+def ours_time(n: int, cluster: ClusterSpec, nb: int) -> TimeBreakdown:
+    """Modeled wall time of the MapReduce pipeline."""
+    m0 = cluster.num_nodes
+    node = cluster.node
+    cost = ours_total_cost(n, m0)
+    jobs = total_job_count(n, nb)
+    leaves = 2 ** depth(n, nb)
+    # The 2^d leaf LUs run serially on the master (mults + adds each).
+    master_serial = leaves * (2 * float(nb) ** 3 / 3) / node.flops
+    return TimeBreakdown(
+        compute=cost.flops / cluster.total_flops,
+        disk=cost.io_elements * BYTES_PER_ELEMENT / (m0 * node.disk_bandwidth),
+        network=cost.transfer * BYTES_PER_ELEMENT / (m0 * node.net_bandwidth),
+        launch=jobs * cluster.job_launch_overhead,
+        master_serial=master_serial,
+    )
+
+
+def scalapack_time(n: int, cluster: ClusterSpec) -> TimeBreakdown:
+    """Modeled wall time of ScaLAPACK's PDGETRF + PDGETRI.
+
+    Two terms differentiate it from the pipeline, both grounded in
+    Section 7.5's explanation of Figure 8 and calibrated against the M4
+    anchors (see the module constants):
+
+    * native-code compute runs ``SCALAPACK_COMPUTE_ADVANTAGE`` faster per
+      flop than Hadoop tasks — ScaLAPACK wins at small scale;
+    * the panel-synchronized critical path (compute + network) inflates by
+      ``1 + BARRIER_IMBALANCE * m0`` — every one of the thousands of panel
+      barriers waits for the slowest virtualized node, so ScaLAPACK loses
+      at large scale.
+    """
+    m0 = cluster.num_nodes
+    node = cluster.node
+    cost = scalapack_total_cost(n, m0)
+    straggler = straggler_factor(m0)
+    compute = (
+        cost.flops
+        / (cluster.total_flops * SCALAPACK_COMPUTE_ADVANTAGE)
+        * straggler
+    )
+    network = (
+        cost.transfer * BYTES_PER_ELEMENT / (m0 * node.net_bandwidth) * straggler
+    )
+    # Per-panel latency: each of the n/panel steps runs pivot search +
+    # broadcast collectives (~2 of log2(m0) hops), twice (PDGETRF, PDGETRI).
+    steps = max(n // SCALAPACK_PANEL, 1)
+    hops = max(m0.bit_length() - 1, 1)
+    sync = 2 * steps * 2 * hops * cluster.message_latency * m0**0.5
+    # Memory spill: everything is kept in memory; when the working set
+    # exceeds aggregate RAM, the excess fraction of every panel step's
+    # trailing-matrix traversal pages through disk as random I/O.  Total
+    # bytes touched across all panel steps is ~ n^3 * 8 / (3 * panel).
+    working_set = SCALAPACK_MEMORY_FACTOR * BYTES_PER_ELEMENT * float(n) ** 2
+    total_mem = m0 * node.memory_bytes
+    spill = 0.0
+    if working_set > total_mem:
+        spilled_fraction = (working_set - total_mem) / working_set
+        touched = float(n) ** 3 * BYTES_PER_ELEMENT / (3 * SCALAPACK_PANEL)
+        spill = (
+            touched
+            * spilled_fraction
+            * SPILL_RANDOM_IO_PENALTY
+            / (m0 * node.disk_bandwidth)
+        )
+    return TimeBreakdown(
+        compute=compute,
+        disk=cost.io_elements * BYTES_PER_ELEMENT / (m0 * node.disk_bandwidth),
+        network=network,
+        sync=sync,
+        spill=spill,
+    )
+
+
+def ideal_time(t1: float, m0: int) -> float:
+    """Figure 6's ideal-scalability reference: ``T(m0) = T(1) / m0``."""
+    return t1 / m0

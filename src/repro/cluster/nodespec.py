@@ -1,0 +1,88 @@
+"""Hardware descriptions of the paper's EC2 instance types.
+
+Section 7.1: medium instances have 3.7 GB of memory and 1 virtual core with
+2 EC2 compute units ("similar to a 2007-era 1.0-1.2 GHz Opteron/Xeon");
+Section 7.4 uses large instances with two such cores, and observes inter-node
+copy speeds of ~60 MB/s between medium instances and 30-60 MB/s between large
+instances.
+
+The effective compute rate is calibrated from the paper's own end-to-end
+numbers (M4, order 102400, ~2n^3 floating-point operations, 5 hours on 256
+cores => ~5e8 effective flop/s per core — Java + Hadoop overheads included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node of the simulated cluster."""
+
+    name: str
+    cores: int
+    flops_per_core: float  # effective double-precision flop/s
+    disk_bandwidth: float  # bytes/s, sustained sequential
+    net_bandwidth: float  # bytes/s per-node NIC
+    memory_bytes: float
+
+    @property
+    def flops(self) -> float:
+        return self.cores * self.flops_per_core
+
+    def scaled(self, factor: float) -> "NodeSpec":
+        """A hypothetical node with all rates scaled (sensitivity studies)."""
+        return replace(
+            self,
+            flops_per_core=self.flops_per_core * factor,
+            disk_bandwidth=self.disk_bandwidth * factor,
+            net_bandwidth=self.net_bandwidth * factor,
+        )
+
+
+#: EC2 m1.medium-like instance (Section 7.1).
+EC2_MEDIUM = NodeSpec(
+    name="ec2-medium",
+    cores=1,
+    flops_per_core=5.0e8,
+    disk_bandwidth=60e6,
+    net_bandwidth=60e6,
+    memory_bytes=3.7e9,
+)
+
+#: EC2 large instance (Section 7.4): two medium-like cores, more memory, and
+#: the paper's observed 30-60 MB/s copy speed (we use the midpoint).
+EC2_LARGE = NodeSpec(
+    name="ec2-large",
+    cores=2,
+    flops_per_core=5.0e8,
+    disk_bandwidth=45e6,
+    net_bandwidth=45e6,
+    memory_bytes=7.5e9,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster plus the Hadoop deployment constants."""
+
+    num_nodes: int
+    node: NodeSpec = EC2_MEDIUM
+    #: Constant cost of launching one MapReduce job (Section 5 sizes nb so the
+    #: master's LU of an nb-order block matches this: nb=3200 => ~22 s).
+    job_launch_overhead: float = 22.0
+    #: Network latency per collective hop (used by the MPI baseline model).
+    message_latency: float = 5e-4
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+    @property
+    def total_flops(self) -> float:
+        return self.num_nodes * self.node.flops

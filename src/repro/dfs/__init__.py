@@ -1,0 +1,41 @@
+"""HDFS-like distributed filesystem substrate.
+
+Provides the storage layer the paper's pipeline runs against: a namenode
+namespace, replicated block storage with checksums, byte-level I/O accounting
+(Tables 1/2 reason about bytes read/written/transferred), and the matrix
+text/binary codecs of Table 3.
+"""
+
+from .blocks import BlockCorruptionError, BlockMissingError, BlockStore, DataNode
+from .filesystem import DFS, DFSWriter
+from .iostats import IOSnapshot, IOStats
+from .namenode import (
+    DFSError,
+    DirectoryNotEmpty,
+    FileAlreadyExists,
+    FileNotFound,
+    IsADirectory,
+    NameNode,
+    NotADirectory,
+)
+from . import formats, matrixmarket
+
+__all__ = [
+    "matrixmarket",
+    "DFS",
+    "DFSWriter",
+    "DFSError",
+    "DataNode",
+    "BlockStore",
+    "BlockCorruptionError",
+    "BlockMissingError",
+    "DirectoryNotEmpty",
+    "FileAlreadyExists",
+    "FileNotFound",
+    "IOSnapshot",
+    "IOStats",
+    "IsADirectory",
+    "NameNode",
+    "NotADirectory",
+    "formats",
+]

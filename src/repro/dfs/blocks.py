@@ -1,0 +1,236 @@
+"""Block-level storage for the DFS substrate.
+
+Files in the DFS are split into fixed-size blocks, each replicated onto
+``replication`` distinct datanodes, mirroring HDFS.  Blocks carry a CRC32
+checksum that is verified on every read, so corruption injected by tests is
+detected exactly as Hadoop's client would detect it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+
+class BlockCorruptionError(IOError):
+    """Raised when a block's stored checksum does not match its payload."""
+
+
+class BlockMissingError(IOError):
+    """Raised when no healthy replica of a block can be located."""
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Opaque identifier of one stored block."""
+
+    value: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"blk_{self.value:012d}"
+
+
+@dataclass
+class BlockInfo:
+    """Metadata the namenode keeps per block."""
+
+    block_id: BlockId
+    length: int
+    checksum: int
+    replicas: tuple[int, ...]  # datanode indices holding this block
+
+
+class DataNode:
+    """One storage node: a dict of block payloads plus liveness state."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self._blocks: dict[BlockId, bytes] = {}
+        self._lock = threading.Lock()
+
+    def put(self, block_id: BlockId, payload: bytes) -> None:
+        with self._lock:
+            self._blocks[block_id] = payload
+
+    def get(self, block_id: BlockId) -> bytes | None:
+        with self._lock:
+            return self._blocks.get(block_id)
+
+    def drop(self, block_id: BlockId) -> None:
+        with self._lock:
+            self._blocks.pop(block_id, None)
+
+    def corrupt(self, block_id: BlockId) -> bool:
+        """Flip a byte of the stored replica (test hook). Returns True if present."""
+        with self._lock:
+            payload = self._blocks.get(block_id)
+            if payload is None:
+                return False
+            mutated = bytearray(payload)
+            if mutated:
+                mutated[0] ^= 0xFF
+            self._blocks[block_id] = bytes(mutated)
+            return True
+
+    @property
+    def block_count(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    @property
+    def stored_bytes(self) -> int:
+        with self._lock:
+            return sum(len(b) for b in self._blocks.values())
+
+
+class BlockStore:
+    """Cluster-wide block placement and retrieval.
+
+    Placement policy: replicas go to ``replication`` distinct datanodes chosen
+    round-robin with a random rotation per file, which spreads load the way
+    HDFS's default placement does without requiring rack topology.
+    """
+
+    def __init__(
+        self,
+        num_datanodes: int = 4,
+        replication: int = 3,
+        block_size: int = 1 << 20,
+        seed: int | None = 0,
+    ) -> None:
+        if num_datanodes < 1:
+            raise ValueError("need at least one datanode")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.datanodes = [DataNode(i) for i in range(num_datanodes)]
+        self.replication = min(replication, num_datanodes)
+        self.block_size = block_size
+        self._next_id = itertools.count(1)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._blocks: dict[BlockId, BlockInfo] = {}
+
+    # -- placement ---------------------------------------------------------
+
+    def _choose_replicas(self) -> tuple[int, ...]:
+        live = [dn.node_id for dn in self.datanodes if dn.alive]
+        if not live:
+            raise BlockMissingError("no live datanodes available for write")
+        k = min(self.replication, len(live))
+        start = self._rng.randrange(len(live))
+        return tuple(live[(start + i) % len(live)] for i in range(k))
+
+    def write_block(self, payload: bytes) -> BlockInfo:
+        with self._lock:
+            block_id = BlockId(next(self._next_id))
+            replicas = self._choose_replicas()
+        checksum = zlib.crc32(payload)
+        for node_idx in replicas:
+            self.datanodes[node_idx].put(block_id, payload)
+        info = BlockInfo(block_id=block_id, length=len(payload), checksum=checksum, replicas=replicas)
+        with self._lock:
+            self._blocks[block_id] = info
+        return info
+
+    def read_block(self, info: BlockInfo) -> bytes:
+        """Read one healthy replica, skipping dead nodes and corrupt copies."""
+        last_error: Exception | None = None
+        for node_idx in info.replicas:
+            node = self.datanodes[node_idx]
+            if not node.alive:
+                continue
+            payload = node.get(info.block_id)
+            if payload is None:
+                continue
+            if zlib.crc32(payload) != info.checksum:
+                last_error = BlockCorruptionError(
+                    f"{info.block_id} corrupt on datanode {node_idx}"
+                )
+                continue
+            return payload
+        if last_error is not None:
+            raise last_error
+        raise BlockMissingError(f"no live replica of {info.block_id}")
+
+    def delete_block(self, info: BlockInfo) -> None:
+        for node_idx in info.replicas:
+            self.datanodes[node_idx].drop(info.block_id)
+        with self._lock:
+            self._blocks.pop(info.block_id, None)
+
+    # -- re-replication ------------------------------------------------------
+
+    def live_replica_count(self, info: BlockInfo) -> int:
+        """Healthy replicas currently reachable (live node + intact payload)."""
+        count = 0
+        for node_idx in info.replicas:
+            node = self.datanodes[node_idx]
+            if not node.alive:
+                continue
+            payload = node.get(info.block_id)
+            if payload is not None and zlib.crc32(payload) == info.checksum:
+                count += 1
+        return count
+
+    def rereplicate(self, info: BlockInfo) -> int:
+        """Restore a block to its target replication by copying a healthy
+        replica onto live nodes that lack one (the namenode's response to a
+        datanode death in HDFS).  Returns the number of new copies made;
+        raises if no healthy source replica exists."""
+        target = min(self.replication, sum(dn.alive for dn in self.datanodes))
+        healthy: list[int] = []
+        for node_idx in info.replicas:
+            node = self.datanodes[node_idx]
+            if not node.alive:
+                continue
+            payload = node.get(info.block_id)
+            if payload is not None and zlib.crc32(payload) == info.checksum:
+                healthy.append(node_idx)
+        if len(healthy) >= target:
+            return 0
+        if not healthy:
+            raise BlockMissingError(
+                f"{info.block_id}: no healthy replica to re-replicate from"
+            )
+        payload = self.datanodes[healthy[0]].get(info.block_id)
+        candidates = [
+            dn.node_id
+            for dn in self.datanodes
+            if dn.alive and dn.node_id not in healthy
+        ]
+        made = 0
+        new_replicas = list(healthy)
+        for node_idx in candidates:
+            if len(new_replicas) >= target:
+                break
+            self.datanodes[node_idx].put(info.block_id, payload)
+            new_replicas.append(node_idx)
+            made += 1
+        info.replicas = tuple(new_replicas)
+        return made
+
+    # -- fault hooks --------------------------------------------------------
+
+    def kill_datanode(self, node_id: int) -> None:
+        self.datanodes[node_id].alive = False
+
+    def revive_datanode(self, node_id: int) -> None:
+        self.datanodes[node_id].alive = True
+
+    def corrupt_replica(self, info: BlockInfo, node_id: int) -> bool:
+        return self.datanodes[node_id].corrupt(info.block_id)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def total_stored_bytes(self) -> int:
+        return sum(dn.stored_bytes for dn in self.datanodes)
+
+    @property
+    def block_count(self) -> int:
+        with self._lock:
+            return len(self._blocks)

@@ -1,0 +1,231 @@
+"""The DFS facade: HDFS-like file operations over the namenode + block store.
+
+This is the interface the MapReduce engine and the inversion pipeline program
+against.  Semantics mirror the HDFS client:
+
+* files are written once (create + append while the writer is open), split
+  into blocks, and replicated;
+* reads fetch whole files or byte ranges, reassembled from blocks;
+* every byte moved is reported to :class:`~repro.dfs.iostats.IOStats`.
+
+The implementation is in-memory, which keeps experiments deterministic and
+fast while preserving all the quantities the paper measures (file counts,
+bytes read/written/transferred, synchronization-free file naming).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+
+from .blocks import BlockStore
+from .iostats import IOStats
+from .namenode import (
+    FileEntry,
+    FileNotFound,
+    IsADirectory,
+    NameNode,
+    normalize,
+)
+
+
+class DFSWriter:
+    """Write handle buffering appends into block-sized chunks."""
+
+    def __init__(self, dfs: "DFS", entry: FileEntry) -> None:
+        self._dfs = dfs
+        self._entry = entry
+        self._buffer = bytearray()
+        self._closed = False
+
+    def write(self, data: bytes) -> int:
+        if self._closed:
+            raise ValueError("write to closed DFS file")
+        self._buffer.extend(data)
+        block_size = self._dfs.blocks.block_size
+        while len(self._buffer) >= block_size:
+            chunk = bytes(self._buffer[:block_size])
+            del self._buffer[:block_size]
+            self._flush_block(chunk)
+        return len(data)
+
+    def _flush_block(self, chunk: bytes) -> None:
+        info = self._dfs.blocks.write_block(chunk)
+        self._entry.blocks.append(info)
+        self._dfs.stats.record_write(len(chunk), replication=len(info.replicas))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._buffer:
+            self._flush_block(bytes(self._buffer))
+            self._buffer.clear()
+        self._closed = True
+
+    def __enter__(self) -> "DFSWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class DFS:
+    """One distributed filesystem instance shared by a simulated cluster."""
+
+    def __init__(
+        self,
+        num_datanodes: int = 4,
+        replication: int = 3,
+        block_size: int = 1 << 20,
+        seed: int | None = 0,
+    ) -> None:
+        self.namenode = NameNode()
+        self.blocks = BlockStore(
+            num_datanodes=num_datanodes,
+            replication=replication,
+            block_size=block_size,
+            seed=seed,
+        )
+        self.stats = IOStats()
+        self._lock = threading.RLock()
+
+    # -- writes --------------------------------------------------------------
+
+    def create(self, path: str, *, overwrite: bool = True) -> DFSWriter:
+        """Open ``path`` for writing, creating parent directories."""
+        entry = self.namenode.create_file(normalize(path), overwrite=overwrite)
+        self.stats.record_create()
+        return DFSWriter(self, entry)
+
+    def write_bytes(self, path: str, data: bytes, *, overwrite: bool = True) -> None:
+        with self.create(path, overwrite=overwrite) as w:
+            w.write(data)
+
+    def write_text(self, path: str, text: str, *, overwrite: bool = True) -> None:
+        self.write_bytes(path, text.encode("utf-8"), overwrite=overwrite)
+
+    # -- reads ---------------------------------------------------------------
+
+    def read_bytes(self, path: str, *, local: bool = False) -> bytes:
+        entry = self.namenode.get_file(normalize(path))
+        self.stats.record_open()
+        chunks = [self.blocks.read_block(info) for info in entry.blocks]
+        data = b"".join(chunks)
+        self.stats.record_read(len(data), local=local)
+        return data
+
+    def read_text(self, path: str, *, local: bool = False) -> str:
+        return self.read_bytes(path, local=local).decode("utf-8")
+
+    def read_range(self, path: str, offset: int, length: int, *, local: bool = False) -> bytes:
+        """Read ``length`` bytes starting at ``offset``, touching only the
+        blocks that overlap the range (HDFS range-read semantics)."""
+        entry = self.namenode.get_file(normalize(path))
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        self.stats.record_open()
+        end = offset + length
+        out = bytearray()
+        pos = 0
+        for info in entry.blocks:
+            block_start, block_end = pos, pos + info.length
+            pos = block_end
+            if block_end <= offset:
+                continue
+            if block_start >= end:
+                break
+            payload = self.blocks.read_block(info)
+            lo = max(offset - block_start, 0)
+            hi = min(end - block_start, info.length)
+            out.extend(payload[lo:hi])
+        self.stats.record_read(len(out), local=local)
+        return bytes(out)
+
+    # -- namespace -----------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(normalize(path))
+
+    def is_dir(self, path: str) -> bool:
+        return self.namenode.is_dir(normalize(path))
+
+    def mkdirs(self, path: str) -> None:
+        self.namenode.mkdirs(normalize(path))
+
+    def list_dir(self, path: str) -> list[str]:
+        return self.namenode.list_dir(normalize(path))
+
+    def glob(self, pattern: str) -> list[str]:
+        """Match files anywhere in the tree against a ``fnmatch`` pattern."""
+        pattern = normalize(pattern)
+        return [p for p in self.namenode.walk_files("/") if fnmatch.fnmatch(p, pattern)]
+
+    def list_files(self, path: str = "/") -> list[str]:
+        return self.namenode.walk_files(normalize(path))
+
+    def file_size(self, path: str) -> int:
+        return self.namenode.get_file(normalize(path)).length
+
+    def delete(self, path: str, *, recursive: bool = False) -> None:
+        removed = self.namenode.delete(normalize(path), recursive=recursive)
+        for entry in removed:
+            for info in entry.blocks:
+                self.blocks.delete_block(info)
+        self.stats.record_delete(len(removed))
+
+    def rename(self, src: str, dst: str) -> None:
+        self.namenode.rename(normalize(src), normalize(dst))
+
+    # -- replication maintenance ------------------------------------------------
+
+    def under_replicated_blocks(self) -> int:
+        """Blocks whose healthy replica count is below the target (what the
+        real namenode's replication monitor tracks)."""
+        target = self.blocks.replication
+        count = 0
+        for path in self.namenode.walk_files("/"):
+            for info in self.namenode.get_file(path).blocks:
+                if self.blocks.live_replica_count(info) < min(
+                    target, sum(dn.alive for dn in self.blocks.datanodes)
+                ):
+                    count += 1
+        return count
+
+    def rereplicate_all(self) -> int:
+        """Restore every under-replicated block; returns copies created.
+
+        This is the maintenance pass HDFS runs after a datanode death, and
+        what lets the Section 7.4 fault scenarios keep reading data with
+        nodes down.
+        """
+        made = 0
+        copied_bytes = 0
+        for path in self.namenode.walk_files("/"):
+            for info in self.namenode.get_file(path).blocks:
+                copies = self.blocks.rereplicate(info)
+                made += copies
+                copied_bytes += copies * info.length
+        if copied_bytes:
+            self.stats.record_replication(copied_bytes)
+        return made
+
+    # -- convenience ---------------------------------------------------------
+
+    def total_stored_bytes(self) -> int:
+        return self.blocks.total_stored_bytes
+
+    def tree(self, path: str = "/") -> str:
+        """ASCII rendering of the namespace (debugging aid for Figure 4)."""
+        lines: list[str] = []
+        for file_path in self.namenode.walk_files(normalize(path)):
+            size = self.file_size(file_path)
+            lines.append(f"{file_path}  ({size} B)")
+        return "\n".join(lines)
+
+
+def file_not_found(path: str) -> FileNotFound:
+    """Helper for callers that raise namespace errors without a namenode."""
+    return FileNotFound(path)
+
+
+__all__ = ["DFS", "DFSWriter", "FileNotFound", "IsADirectory", "file_not_found"]

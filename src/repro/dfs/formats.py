@@ -1,0 +1,130 @@
+"""Matrix serialization for DFS files.
+
+Two codecs, matching the paper's Table 3 which reports matrix sizes in both
+*text* and *binary* form:
+
+* **text** — one row per line, elements space-separated with full double
+  precision (`repr`-roundtrippable).  This is the ``Root/a.txt`` input format.
+* **binary** — a 16-byte header (magic, rows, cols) followed by row-major
+  little-endian float64 data.  Intermediate pipeline files use this codec;
+  it is the "binary (GB)" column of Table 3.
+
+Row-range readers let a mapper fetch only its share of rows — Section 5.2's
+"each map function reads an equal number of consecutive rows ... to increase
+I/O sequentiality".
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .filesystem import DFS
+
+_MAGIC = b"RMX1"
+_HEADER = struct.Struct("<4sIQ")  # magic, cols, rows
+
+
+# -- binary codec -------------------------------------------------------------
+
+
+def encode_matrix(matrix: np.ndarray) -> bytes:
+    """Serialize a 2-D float64 array to the binary matrix format."""
+    m = np.ascontiguousarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {matrix.shape}")
+    header = _HEADER.pack(_MAGIC, m.shape[1], m.shape[0])
+    return header + m.tobytes()
+
+
+def decode_matrix(data: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_matrix`."""
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated matrix file: missing header")
+    magic, cols, rows = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError(f"bad matrix magic {magic!r}")
+    body = np.frombuffer(data, dtype=np.float64, offset=_HEADER.size)
+    if body.size != rows * cols:
+        raise ValueError(
+            f"matrix payload has {body.size} elements, header says {rows}x{cols}"
+        )
+    return body.reshape(rows, cols).copy()
+
+
+def write_matrix(dfs: DFS, path: str, matrix: np.ndarray) -> None:
+    """Write a matrix to ``path`` in binary format."""
+    dfs.write_bytes(path, encode_matrix(matrix))
+
+
+def read_matrix(dfs: DFS, path: str, *, local: bool = False) -> np.ndarray:
+    """Read a whole binary matrix file."""
+    return decode_matrix(dfs.read_bytes(path, local=local))
+
+
+def matrix_shape(dfs: DFS, path: str) -> tuple[int, int]:
+    """Read only the header of a binary matrix file (rows, cols)."""
+    head = dfs.read_range(path, 0, _HEADER.size)
+    magic, cols, rows = _HEADER.unpack_from(head)
+    if magic != _MAGIC:
+        raise ValueError(f"bad matrix magic {magic!r}")
+    return rows, cols
+
+
+def read_rows(dfs: DFS, path: str, r1: int, r2: int, *, local: bool = False) -> np.ndarray:
+    """Read rows ``[r1, r2)`` of a binary matrix file without fetching the rest.
+
+    This is the range-read a mapper issues for its contiguous row share.
+    """
+    rows, cols = matrix_shape(dfs, path)
+    if not (0 <= r1 <= r2 <= rows):
+        raise ValueError(f"row range [{r1}, {r2}) out of bounds for {rows} rows")
+    row_bytes = cols * 8
+    offset = _HEADER.size + r1 * row_bytes
+    data = dfs.read_range(path, offset, (r2 - r1) * row_bytes, local=local)
+    return np.frombuffer(data, dtype=np.float64).reshape(r2 - r1, cols).copy()
+
+
+# -- text codec ---------------------------------------------------------------
+
+
+def encode_matrix_text(matrix: np.ndarray) -> str:
+    """Serialize a matrix as the ``a.txt`` whitespace text format."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {matrix.shape}")
+    return "\n".join(" ".join(repr(float(v)) for v in row) for row in m) + "\n"
+
+
+def decode_matrix_text(text: str) -> np.ndarray:
+    """Inverse of :func:`encode_matrix_text`."""
+    rows = [
+        [float(tok) for tok in line.split()]
+        for line in text.splitlines()
+        if line.strip()
+    ]
+    if not rows:
+        return np.zeros((0, 0))
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise ValueError("ragged rows in text matrix")
+    return np.array(rows, dtype=np.float64)
+
+
+def write_matrix_text(dfs: DFS, path: str, matrix: np.ndarray) -> None:
+    dfs.write_text(path, encode_matrix_text(matrix))
+
+
+def read_matrix_text(dfs: DFS, path: str, *, local: bool = False) -> np.ndarray:
+    return decode_matrix_text(dfs.read_text(path, local=local))
+
+
+def text_size_bytes(matrix: np.ndarray) -> int:
+    """Size the matrix would occupy in text form (Table 3's "Text (GB)")."""
+    return len(encode_matrix_text(matrix).encode("utf-8"))
+
+
+def binary_size_bytes(n_rows: int, n_cols: int) -> int:
+    """Size of a binary matrix file for the given order (Table 3's "Binary")."""
+    return _HEADER.size + n_rows * n_cols * 8

@@ -1,0 +1,116 @@
+"""Byte-level I/O accounting for the DFS substrate.
+
+The paper's evaluation reasons heavily about I/O volume: Table 1 and Table 2
+give closed-form expressions for bytes written, read, and transferred over the
+network, and Section 7.4 reports ">500 GB written / >20 TB read" for the
+largest matrix.  Every DFS operation therefore reports into an :class:`IOStats`
+instance so experiments can compare measured traffic against the analytic cost
+model.
+
+Transfer semantics follow HDFS: a write of ``b`` bytes with replication factor
+``r`` moves ``b * (r - 1)`` bytes across the network in addition to the local
+write (the first replica is assumed local to the writer, as in HDFS); a read
+is remote unless the caller declares locality.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOSnapshot:
+    """Immutable copy of the counters at one point in time."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_transferred: int = 0
+    files_created: int = 0
+    files_opened: int = 0
+    files_deleted: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            bytes_read=self.bytes_read - other.bytes_read,
+            bytes_written=self.bytes_written - other.bytes_written,
+            bytes_transferred=self.bytes_transferred - other.bytes_transferred,
+            files_created=self.files_created - other.files_created,
+            files_opened=self.files_opened - other.files_opened,
+            files_deleted=self.files_deleted - other.files_deleted,
+            read_ops=self.read_ops - other.read_ops,
+            write_ops=self.write_ops - other.write_ops,
+        )
+
+
+@dataclass
+class IOStats:
+    """Thread-safe mutable I/O counters shared by one DFS instance."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_transferred: int = 0
+    files_created: int = 0
+    files_opened: int = 0
+    files_deleted: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_read(self, nbytes: int, *, local: bool = False) -> None:
+        with self._lock:
+            self.bytes_read += nbytes
+            self.read_ops += 1
+            if not local:
+                self.bytes_transferred += nbytes
+
+    def record_write(self, nbytes: int, *, replication: int = 1) -> None:
+        with self._lock:
+            self.bytes_written += nbytes * replication
+            self.write_ops += 1
+            # First replica is local to the writer; the rest cross the network.
+            self.bytes_transferred += nbytes * max(replication - 1, 0)
+
+    def record_replication(self, nbytes: int) -> None:
+        """Maintenance traffic: block copies made to restore replication."""
+        with self._lock:
+            self.bytes_written += nbytes
+            self.bytes_transferred += nbytes
+
+    def record_create(self) -> None:
+        with self._lock:
+            self.files_created += 1
+
+    def record_open(self) -> None:
+        with self._lock:
+            self.files_opened += 1
+
+    def record_delete(self, count: int = 1) -> None:
+        with self._lock:
+            self.files_deleted += count
+
+    def snapshot(self) -> IOSnapshot:
+        with self._lock:
+            return IOSnapshot(
+                bytes_read=self.bytes_read,
+                bytes_written=self.bytes_written,
+                bytes_transferred=self.bytes_transferred,
+                files_created=self.files_created,
+                files_opened=self.files_opened,
+                files_deleted=self.files_deleted,
+                read_ops=self.read_ops,
+                write_ops=self.write_ops,
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bytes_read = 0
+            self.bytes_written = 0
+            self.bytes_transferred = 0
+            self.files_created = 0
+            self.files_opened = 0
+            self.files_deleted = 0
+            self.read_ops = 0
+            self.write_ops = 0

@@ -1,0 +1,115 @@
+"""Matrix Market (.mtx) support — the interchange format real matrix
+collections (SuiteSparse, NIST) ship in, so downstream users can feed their
+own matrices to the pipeline.
+
+Supports the ``matrix array real general`` (dense, column-major) and
+``matrix coordinate real general`` (sparse triplet) variants of the format,
+reading either into a dense float64 array and writing the array flavor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .filesystem import DFS
+
+_BANNER = "%%MatrixMarket"
+
+
+class MatrixMarketError(ValueError):
+    """Malformed Matrix Market content."""
+
+
+def encode_matrix_market(matrix: np.ndarray, comment: str | None = None) -> str:
+    """Serialize a dense matrix in ``array real general`` form."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError(f"need a 2-D matrix, got shape {m.shape}")
+    lines = [f"{_BANNER} matrix array real general"]
+    if comment:
+        for c_line in comment.splitlines():
+            lines.append(f"% {c_line}")
+    rows, cols = m.shape
+    lines.append(f"{rows} {cols}")
+    # Array format is column-major.
+    for j in range(cols):
+        for i in range(rows):
+            lines.append(repr(float(m[i, j])))
+    return "\n".join(lines) + "\n"
+
+
+def decode_matrix_market(text: str) -> np.ndarray:
+    """Parse either the array or the coordinate variant into a dense array."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(_BANNER):
+        raise MatrixMarketError("missing MatrixMarket banner")
+    header = lines[0].split()
+    if len(header) < 5 or header[1].lower() != "matrix":
+        raise MatrixMarketError(f"unsupported banner: {lines[0]!r}")
+    layout, field, symmetry = (
+        header[2].lower(),
+        header[3].lower(),
+        header[4].lower(),
+    )
+    if field not in ("real", "integer"):
+        raise MatrixMarketError(f"unsupported field type {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+    body = [ln for ln in lines[1:] if ln.strip() and not ln.lstrip().startswith("%")]
+    if not body:
+        raise MatrixMarketError("missing size line")
+
+    if layout == "array":
+        size = body[0].split()
+        if len(size) != 2:
+            raise MatrixMarketError(f"bad array size line: {body[0]!r}")
+        rows, cols = int(size[0]), int(size[1])
+        values = [float(tok) for ln in body[1:] for tok in ln.split()]
+        expected = rows * cols if symmetry == "general" else rows * (rows + 1) // 2
+        if len(values) != expected:
+            raise MatrixMarketError(
+                f"array body has {len(values)} values, expected {expected}"
+            )
+        if symmetry == "general":
+            return np.array(values).reshape(cols, rows).T.copy()
+        # Symmetric array stores the lower triangle column-major.
+        out = np.zeros((rows, cols))
+        it = iter(values)
+        for j in range(cols):
+            for i in range(j, rows):
+                v = next(it)
+                out[i, j] = out[j, i] = v
+        return out
+
+    if layout == "coordinate":
+        size = body[0].split()
+        if len(size) != 3:
+            raise MatrixMarketError(f"bad coordinate size line: {body[0]!r}")
+        rows, cols, nnz = (int(x) for x in size)
+        if len(body) - 1 != nnz:
+            raise MatrixMarketError(
+                f"coordinate body has {len(body) - 1} entries, header says {nnz}"
+            )
+        out = np.zeros((rows, cols))
+        for ln in body[1:]:
+            parts = ln.split()
+            if len(parts) != 3:
+                raise MatrixMarketError(f"bad coordinate entry: {ln!r}")
+            i, j, v = int(parts[0]) - 1, int(parts[1]) - 1, float(parts[2])
+            if not (0 <= i < rows and 0 <= j < cols):
+                raise MatrixMarketError(f"entry ({i + 1}, {j + 1}) out of range")
+            out[i, j] = v
+            if symmetry == "symmetric" and i != j:
+                out[j, i] = v
+        return out
+
+    raise MatrixMarketError(f"unsupported layout {layout!r}")
+
+
+def write_matrix_market(dfs: DFS, path: str, matrix: np.ndarray, comment: str | None = None) -> None:
+    dfs.write_text(path, encode_matrix_market(matrix, comment))
+
+
+def read_matrix_market(dfs: DFS, path: str) -> np.ndarray:
+    return decode_matrix_market(dfs.read_text(path))

@@ -1,0 +1,224 @@
+"""Namespace management for the DFS substrate.
+
+The namenode keeps the directory tree and, per file, the ordered list of
+blocks that make up the file's contents — the same split of responsibilities
+as HDFS.  Paths are '/'-separated and rooted at ``/``; the paper's directory
+layout (``Root/A1/A3/...``, Figure 4) maps directly onto this tree.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from .blocks import BlockInfo
+
+
+class DFSError(IOError):
+    """Base class for namespace errors."""
+
+
+class FileNotFound(DFSError):
+    pass
+
+
+class FileAlreadyExists(DFSError):
+    pass
+
+
+class NotADirectory(DFSError):
+    pass
+
+
+class IsADirectory(DFSError):
+    pass
+
+
+class DirectoryNotEmpty(DFSError):
+    pass
+
+
+def normalize(path: str) -> str:
+    """Collapse a DFS path to canonical ``/a/b/c`` form."""
+    parts = [p for p in path.split("/") if p not in ("", ".")]
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> list[str]:
+    return [p for p in path.split("/") if p not in ("", ".")]
+
+
+@dataclass
+class FileEntry:
+    """Metadata for one regular file."""
+
+    name: str
+    blocks: list[BlockInfo] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return sum(b.length for b in self.blocks)
+
+
+@dataclass
+class DirEntry:
+    """Metadata for one directory."""
+
+    name: str
+    children: dict[str, "FileEntry | DirEntry"] = field(default_factory=dict)
+
+
+class NameNode:
+    """The namespace tree, protected by a single coarse lock.
+
+    A coarse lock is faithful to the real namenode (a single-writer namespace)
+    and keeps semantics obvious; metadata operations are tiny compared to the
+    block I/O they coordinate.
+    """
+
+    def __init__(self) -> None:
+        self.root = DirEntry(name="")
+        self._lock = threading.RLock()
+
+    # -- traversal -----------------------------------------------------------
+
+    def _walk(self, path: str) -> "FileEntry | DirEntry | None":
+        node: FileEntry | DirEntry = self.root
+        for part in split_path(path):
+            if not isinstance(node, DirEntry):
+                return None
+            child = node.children.get(part)
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def _parent_dir(self, path: str, *, create: bool) -> tuple[DirEntry, str]:
+        parts = split_path(path)
+        if not parts:
+            raise DFSError("path refers to the root directory")
+        node: DirEntry = self.root
+        for part in parts[:-1]:
+            child = node.children.get(part)
+            if child is None:
+                if not create:
+                    raise FileNotFound(f"no such directory: {part!r} in {path!r}")
+                child = DirEntry(name=part)
+                node.children[part] = child
+            if not isinstance(child, DirEntry):
+                raise NotADirectory(f"{part!r} in {path!r} is a file")
+            node = child
+        return node, parts[-1]
+
+    # -- operations ----------------------------------------------------------
+
+    def create_file(self, path: str, *, overwrite: bool = False) -> FileEntry:
+        with self._lock:
+            parent, name = self._parent_dir(path, create=True)
+            existing = parent.children.get(name)
+            if existing is not None:
+                if isinstance(existing, DirEntry):
+                    raise IsADirectory(path)
+                if not overwrite:
+                    raise FileAlreadyExists(path)
+            entry = FileEntry(name=name)
+            parent.children[name] = entry
+            return entry
+
+    def mkdirs(self, path: str) -> DirEntry:
+        with self._lock:
+            node: DirEntry = self.root
+            for part in split_path(path):
+                child = node.children.get(part)
+                if child is None:
+                    child = DirEntry(name=part)
+                    node.children[part] = child
+                if not isinstance(child, DirEntry):
+                    raise NotADirectory(f"{part!r} in {path!r} is a file")
+                node = child
+            return node
+
+    def get_file(self, path: str) -> FileEntry:
+        with self._lock:
+            node = self._walk(path)
+            if node is None:
+                raise FileNotFound(path)
+            if isinstance(node, DirEntry):
+                raise IsADirectory(path)
+            return node
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return self._walk(path) is not None
+
+    def is_dir(self, path: str) -> bool:
+        with self._lock:
+            return isinstance(self._walk(path), DirEntry)
+
+    def is_file(self, path: str) -> bool:
+        with self._lock:
+            return isinstance(self._walk(path), FileEntry)
+
+    def list_dir(self, path: str) -> list[str]:
+        with self._lock:
+            node = self._walk(path)
+            if node is None:
+                raise FileNotFound(path)
+            if isinstance(node, FileEntry):
+                raise NotADirectory(path)
+            return sorted(node.children)
+
+    def delete(self, path: str, *, recursive: bool = False) -> list[FileEntry]:
+        """Remove a path; returns all file entries removed (for block GC)."""
+        with self._lock:
+            parent, name = self._parent_dir(path, create=False)
+            node = parent.children.get(name)
+            if node is None:
+                raise FileNotFound(path)
+            if isinstance(node, DirEntry) and node.children and not recursive:
+                raise DirectoryNotEmpty(path)
+            del parent.children[name]
+            removed: list[FileEntry] = []
+
+            def collect(entry: FileEntry | DirEntry) -> None:
+                if isinstance(entry, FileEntry):
+                    removed.append(entry)
+                else:
+                    for child in entry.children.values():
+                        collect(child)
+
+            collect(node)
+            return removed
+
+    def rename(self, src: str, dst: str) -> None:
+        with self._lock:
+            src_parent, src_name = self._parent_dir(src, create=False)
+            node = src_parent.children.get(src_name)
+            if node is None:
+                raise FileNotFound(src)
+            dst_parent, dst_name = self._parent_dir(dst, create=True)
+            if dst_name in dst_parent.children:
+                raise FileAlreadyExists(dst)
+            del src_parent.children[src_name]
+            node.name = dst_name
+            dst_parent.children[dst_name] = node
+
+    def walk_files(self, path: str = "/") -> list[str]:
+        """All file paths under ``path``, depth-first, sorted within each dir."""
+        with self._lock:
+            node = self._walk(path)
+            if node is None:
+                raise FileNotFound(path)
+            base = normalize(path)
+            result: list[str] = []
+
+            def recurse(prefix: str, entry: FileEntry | DirEntry) -> None:
+                if isinstance(entry, FileEntry):
+                    result.append(prefix)
+                    return
+                for name in sorted(entry.children):
+                    child_prefix = prefix.rstrip("/") + "/" + name
+                    recurse(child_prefix, entry.children[name])
+
+            recurse(base, node)
+            return result

@@ -1,0 +1,107 @@
+"""Figure 6 — strong scalability of the algorithm.
+
+The paper plots running time versus number of EC2 medium instances for M1,
+M2, and M3, against the ideal line ``T(m) = T(1)/m``, observing near-ideal
+scaling with a deviation at high node counts caused by the constant job
+launch time, and better scalability for larger matrices.
+
+Reproduction: for each node count the pipeline is *executed* at working
+scale with that m0 (so the task DAG is the real one for that cluster width),
+then *replayed* on a simulated EC2-medium cluster with per-task work lifted
+to the paper's order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import EC2_MEDIUM
+from ..workloads.suite import SuiteMatrix, get
+from .harness import ExperimentHarness
+from .report import format_series, seconds_human
+
+DEFAULT_NODE_COUNTS = (2, 4, 8, 16, 32, 64)
+DEFAULT_MATRICES = ("M1", "M2", "M3")
+
+
+@dataclass
+class ScalingCurve:
+    matrix: str
+    paper_order: int
+    node_counts: list[int]
+    seconds: list[float]
+
+    @property
+    def ideal(self) -> list[float]:
+        """Ideal line anchored at the first measured point."""
+        t0, m0 = self.seconds[0], self.node_counts[0]
+        return [t0 * m0 / m for m in self.node_counts]
+
+    def efficiency(self, i: int) -> float:
+        """Parallel efficiency at point i relative to the first point."""
+        return self.ideal[i] / self.seconds[i]
+
+
+@dataclass
+class Fig6Result:
+    curves: list[ScalingCurve] = field(default_factory=list)
+
+    def curve(self, name: str) -> ScalingCurve:
+        for c in self.curves:
+            if c.matrix == name:
+                return c
+        raise KeyError(name)
+
+
+def run(
+    *,
+    matrices: tuple[str, ...] = DEFAULT_MATRICES,
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    scale: int = 128,
+    harness: ExperimentHarness | None = None,
+) -> Fig6Result:
+    harness = harness or ExperimentHarness()
+    result = Fig6Result()
+    for name in matrices:
+        suite: SuiteMatrix = get(name)
+        n, nb = suite.order(scale), suite.nb(scale)
+        seconds = []
+        for m0 in node_counts:
+            executed = harness.run(n, nb, m0, seed=suite.seed)
+            report = harness.replay(
+                executed,
+                num_nodes=m0,
+                paper_n=suite.paper_order,
+                node=EC2_MEDIUM,
+            )
+            seconds.append(report.makespan)
+        result.curves.append(
+            ScalingCurve(
+                matrix=name,
+                paper_order=suite.paper_order,
+                node_counts=list(node_counts),
+                seconds=seconds,
+            )
+        )
+    return result
+
+
+def format_result(res: Fig6Result) -> str:
+    xs = res.curves[0].node_counts
+    series: dict[str, list[str]] = {}
+    for c in res.curves:
+        series[c.matrix] = [seconds_human(s) for s in c.seconds]
+    series["ideal (M1)"] = [seconds_human(s) for s in res.curves[0].ideal]
+    out = format_series(
+        "Figure 6 — running time vs number of EC2 medium nodes", "nodes", xs, series
+    )
+    eff_lines = [
+        f"{c.matrix}: efficiency at {c.node_counts[-1]} nodes = "
+        f"{c.efficiency(len(c.node_counts) - 1):.2f}"
+        for c in res.curves
+    ]
+    return out + "\n" + "\n".join(eff_lines)
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,95 @@
+"""Figure 7 — effect of the Section 6 optimizations.
+
+The paper measures, on matrix M5 over 4-64 nodes, the ratio of unoptimized to
+optimized running time for (a) storing intermediate data in separate files
+(combining on the master costs a constant serial time per job, so the ratio
+grows as the parallel part shrinks — up to ~1.3x) and (b) block-wrap
+multiplication (read I/O drops from (m0+1) n^2 to (f1+f2) n^2 per multiply,
+so the gain also grows with the node count).
+
+Reproduction: run the pipeline with each optimization disabled, replay both
+runs on the simulated cluster at paper scale, and report the time ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import EC2_MEDIUM
+from ..workloads.suite import get
+from .harness import ExperimentHarness
+from .report import format_series
+
+DEFAULT_NODE_COUNTS = (4, 8, 16, 32, 64)
+
+
+@dataclass
+class AblationCurve:
+    optimization: str  # which optimization was *disabled* in the numerator
+    node_counts: list[int]
+    ratio: list[float]  # T_unoptimized / T_optimized
+
+
+@dataclass
+class Fig7Result:
+    matrix: str
+    curves: list[AblationCurve] = field(default_factory=list)
+
+    def curve(self, optimization: str) -> AblationCurve:
+        for c in self.curves:
+            if c.optimization == optimization:
+                return c
+        raise KeyError(optimization)
+
+
+def run(
+    *,
+    matrix: str = "M5",
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    scale: int = 128,
+    harness: ExperimentHarness | None = None,
+) -> Fig7Result:
+    harness = harness or ExperimentHarness()
+    suite = get(matrix)
+    n, nb = suite.order(scale), suite.nb(scale)
+    result = Fig7Result(matrix=matrix)
+    ablations = {
+        "separate-files": dict(separate_files=False),
+        "block-wrap": dict(block_wrap=False),
+    }
+    for name, flags in ablations.items():
+        ratios = []
+        for m0 in node_counts:
+            base = harness.run(n, nb, m0, seed=suite.seed)
+            ablated = harness.run(n, nb, m0, seed=suite.seed, **flags)
+            t_base = harness.replay(
+                base, num_nodes=m0, paper_n=suite.paper_order, node=EC2_MEDIUM
+            ).makespan
+            t_ablated = harness.replay(
+                ablated, num_nodes=m0, paper_n=suite.paper_order, node=EC2_MEDIUM
+            ).makespan
+            ratios.append(t_ablated / t_base)
+        result.curves.append(
+            AblationCurve(
+                optimization=name, node_counts=list(node_counts), ratio=ratios
+            )
+        )
+    return result
+
+
+def format_result(res: Fig7Result) -> str:
+    xs = res.curves[0].node_counts
+    series = {
+        f"T_unopt/T ({c.optimization})": [f"{r:.3f}" for r in c.ratio]
+        for c in res.curves
+    }
+    return format_series(
+        f"Figure 7 — optimization ablations on {res.matrix}",
+        "nodes",
+        xs,
+        series,
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

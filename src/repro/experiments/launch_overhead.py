@@ -1,0 +1,108 @@
+"""Job-launch-overhead sensitivity — the Section 7.2 HaLoop discussion.
+
+"We investigated improving scalability by using systems that support
+iterative MapReduce computations, such as HaLoop.  However ... HaLoop and
+similar systems do not reduce the launch time of MapReduce jobs. ...  There
+are techniques for reducing the overhead of launching MapReduce jobs, such
+as having pools of worker processes ...  These techniques can definitely
+benefit our work, but they do not require any changes to the matrix
+inversion MapReduce pipeline."
+
+This experiment quantifies that: the same recorded pipeline run is replayed
+with different per-job launch costs (22 s = the paper's Hadoop; ~2 s = a
+warm worker pool; 0 s = the ideal), showing that (a) high-node-count
+efficiency improves markedly as the launch cost shrinks and (b) nothing in
+the pipeline changes — only a replay parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import EC2_MEDIUM
+from ..workloads.suite import get
+from .harness import ExperimentHarness
+from .report import format_series
+
+DEFAULT_OVERHEADS = (22.0, 2.0, 0.0)
+DEFAULT_NODE_COUNTS = (4, 16, 64)
+
+
+@dataclass
+class OverheadCurve:
+    overhead: float
+    node_counts: list[int]
+    seconds: list[float]
+
+    def efficiency_at_max(self) -> float:
+        t0, m0 = self.seconds[0], self.node_counts[0]
+        ideal = t0 * m0 / self.node_counts[-1]
+        return ideal / self.seconds[-1]
+
+
+@dataclass
+class LaunchOverheadResult:
+    matrix: str
+    curves: list[OverheadCurve] = field(default_factory=list)
+
+    def curve(self, overhead: float) -> OverheadCurve:
+        for c in self.curves:
+            if c.overhead == overhead:
+                return c
+        raise KeyError(overhead)
+
+
+def run(
+    *,
+    matrix: str = "M5",
+    overheads: tuple[float, ...] = DEFAULT_OVERHEADS,
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    scale: int = 128,
+    harness: ExperimentHarness | None = None,
+) -> LaunchOverheadResult:
+    harness = harness or ExperimentHarness()
+    suite = get(matrix)
+    n, nb = suite.order(scale), suite.nb(scale)
+    result = LaunchOverheadResult(matrix=matrix)
+    for overhead in overheads:
+        seconds = []
+        for m0 in node_counts:
+            executed = harness.run(n, nb, m0, seed=suite.seed)
+            report = harness.replay(
+                executed,
+                num_nodes=m0,
+                paper_n=suite.paper_order,
+                node=EC2_MEDIUM,
+                job_launch_overhead=overhead,
+            )
+            seconds.append(report.makespan)
+        result.curves.append(
+            OverheadCurve(
+                overhead=overhead, node_counts=list(node_counts), seconds=seconds
+            )
+        )
+    return result
+
+
+def format_result(res: LaunchOverheadResult) -> str:
+    xs = res.curves[0].node_counts
+    series = {
+        f"launch={c.overhead:g}s": [f"{s:.0f}s" for s in c.seconds]
+        for c in res.curves
+    }
+    out = format_series(
+        f"Job-launch-overhead sensitivity on {res.matrix} (HaLoop discussion)",
+        "nodes",
+        xs,
+        series,
+    )
+    effs = [
+        f"launch={c.overhead:g}s: efficiency at {c.node_counts[-1]} nodes = "
+        f"{c.efficiency_at_max():.2f}"
+        for c in res.curves
+    ]
+    return out + "\n" + "\n".join(effs)
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,64 @@
+"""ASCII reporting helpers: the experiments print the same rows/series the
+paper's tables and figures show."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, x_name: str, xs: Sequence[Any], series: dict[str, Sequence[Any]]
+) -> str:
+    """One figure as columns: x plus one column per named series."""
+    headers = [x_name] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def seconds_human(s: float) -> str:
+    """Humanized duration (the paper reports hours for the big runs)."""
+    if s < 120:
+        return f"{s:.1f} s"
+    if s < 7200:
+        return f"{s / 60:.1f} min"
+    return f"{s / 3600:.2f} h"
+
+
+def bytes_human(b: float) -> str:
+    for unit, scale in [("TB", 1e12), ("GB", 1e9), ("MB", 1e6), ("KB", 1e3)]:
+        if abs(b) >= scale:
+            return f"{b / scale:.2f} {unit}"
+    return f"{b:.0f} B"

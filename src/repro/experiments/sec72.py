@@ -1,0 +1,85 @@
+"""Section 7.2's correctness check.
+
+"In order to verify the correctness of our implementation and check whether
+the data type double is precise enough, we compute In - M M^-1 for matrices
+M1, M2, M3, and M5.  We find that every element in the computed matrices is
+less than 1e-5."
+
+Reproduced at working scale (smaller orders only make the bound easier, so a
+pass here is necessary but the bench also checks the residual's growth trend
+across orders to confirm the paper-scale bound is plausible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..linalg.verify import PAPER_RESIDUAL_BOUND, identity_residual
+from ..workloads.suite import get
+from .harness import ExperimentHarness
+from .report import format_table
+
+DEFAULT_MATRICES = ("M1", "M2", "M3", "M5")
+
+
+@dataclass
+class AccuracyRow:
+    matrix: str
+    order: int
+    residual: float
+    passes: bool
+
+
+@dataclass
+class Sec72Result:
+    rows: list[AccuracyRow] = field(default_factory=list)
+
+    @property
+    def all_pass(self) -> bool:
+        return all(r.passes for r in self.rows)
+
+    @property
+    def worst_residual(self) -> float:
+        return max(r.residual for r in self.rows)
+
+
+def run(
+    *,
+    matrices: tuple[str, ...] = DEFAULT_MATRICES,
+    scale: int = 128,
+    m0: int = 4,
+    harness: ExperimentHarness | None = None,
+) -> Sec72Result:
+    harness = harness or ExperimentHarness()
+    result = Sec72Result()
+    for name in matrices:
+        suite = get(name)
+        n, nb = suite.order(scale), suite.nb(scale)
+        a = suite.generate(scale)
+        run_result = harness.run(n, nb, m0, seed=suite.seed, matrix=a)
+        residual = identity_residual(a, run_result.inverse)
+        result.rows.append(
+            AccuracyRow(
+                matrix=name,
+                order=n,
+                residual=residual,
+                passes=residual < PAPER_RESIDUAL_BOUND,
+            )
+        )
+    return result
+
+
+def format_result(res: Sec72Result) -> str:
+    rows = [
+        [r.matrix, r.order, f"{r.residual:.3e}", "yes" if r.passes else "NO"]
+        for r in res.rows
+    ]
+    return format_table(
+        ["Matrix", "Order (scaled)", "max |I - M M^-1|", f"< {PAPER_RESIDUAL_BOUND:g}"],
+        rows,
+        title="Section 7.2 — numerical accuracy of the pipeline (double precision)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

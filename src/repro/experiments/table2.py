@@ -1,0 +1,115 @@
+"""Table 2 — time complexity of triangular inversion + final product.
+
+Same methodology as Table 1: model columns from the closed forms, measured
+columns from the final MapReduce job of a real run (its mappers invert the
+triangular factors, its reducers form ``U^-1 L^-1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.costmodel import (
+    BYTES_PER_ELEMENT,
+    ours_inversion_cost,
+    scalapack_inversion_cost,
+)
+from .harness import ExperimentHarness
+from .report import format_table
+
+
+@dataclass
+class Table2Row:
+    algorithm: str
+    n: int
+    m0: int
+    write_elements: float
+    read_elements: float
+    transfer_elements: float
+    mults: float
+
+
+@dataclass
+class Table2Result:
+    model_ours: Table2Row
+    model_scalapack: Table2Row
+    measured_ours: Table2Row
+
+    @property
+    def read_ratio(self) -> float:
+        return self.measured_ours.read_elements / self.model_ours.read_elements
+
+    @property
+    def write_ratio(self) -> float:
+        return self.measured_ours.write_elements / self.model_ours.write_elements
+
+
+def run(
+    n: int = 256,
+    nb: int = 32,
+    m0: int = 8,
+    seed: int = 0,
+    harness: ExperimentHarness | None = None,
+) -> Table2Result:
+    harness = harness or ExperimentHarness()
+    result = harness.run(n, nb, m0, seed=seed)
+    final_jobs = [j for j in result.record.job_results if j.name == "invert-final"]
+    assert len(final_jobs) == 1, "pipeline must end with exactly one inversion job"
+    job = final_jobs[0]
+    read_b = sum(t.bytes_read for t in job.traces)
+    write_b = sum(t.bytes_written for t in job.traces)
+    mults = sum(t.flops for t in job.traces)
+    measured = Table2Row(
+        algorithm="ours (measured)",
+        n=n,
+        m0=m0,
+        write_elements=write_b / BYTES_PER_ELEMENT,
+        read_elements=read_b / BYTES_PER_ELEMENT,
+        transfer_elements=read_b / BYTES_PER_ELEMENT,
+        mults=mults,
+    )
+    ours = ours_inversion_cost(n, m0)
+    scala = scalapack_inversion_cost(n, m0)
+    return Table2Result(
+        model_ours=Table2Row(
+            "ours (Table 2)", n, m0, ours.write, ours.read, ours.transfer, ours.mults
+        ),
+        model_scalapack=Table2Row(
+            "ScaLAPACK (Table 2)",
+            n,
+            m0,
+            scala.write,
+            scala.read,
+            scala.transfer,
+            scala.mults,
+        ),
+        measured_ours=measured,
+    )
+
+
+def format_result(res: Table2Result) -> str:
+    rows = [
+        [
+            r.algorithm,
+            r.write_elements,
+            r.read_elements,
+            r.transfer_elements,
+            r.mults,
+        ]
+        for r in (res.model_ours, res.measured_ours, res.model_scalapack)
+    ]
+    table = format_table(
+        ["Algorithm", "Write (elems)", "Read (elems)", "Transfer (elems)", "Mults"],
+        rows,
+        title=f"Table 2 — triangular inversion + product cost "
+        f"(n={res.model_ours.n}, m0={res.model_ours.m0})",
+    )
+    return (
+        table
+        + f"\nmeasured/model ratios: read {res.read_ratio:.2f}, "
+        + f"write {res.write_ratio:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

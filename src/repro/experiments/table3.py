@@ -1,0 +1,114 @@
+"""Table 3 — the experiment matrices M1-M5.
+
+Reproduces every column: order, element count, text size, binary size, and
+the number of MapReduce jobs.  The job counts are verified two ways — the
+closed form at paper scale, and the *actual* job count of an executed
+pipeline at working scale (the scale factor divides n and nb together, so
+the pipeline structure is identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.suite import PAPER_NB, TABLE3, SuiteMatrix
+from .harness import ExperimentHarness
+from .report import format_table
+
+#: Table 3 as printed in the paper (for exact comparison).
+PAPER_ROWS = {
+    "M1": dict(order=20480, elements=0.42, text_gb=8, binary_gb=3.2, jobs=9),
+    "M2": dict(order=32768, elements=1.07, text_gb=20, binary_gb=8, jobs=17),
+    "M3": dict(order=40960, elements=1.68, text_gb=40, binary_gb=16, jobs=17),
+    "M4": dict(order=102400, elements=10.49, text_gb=200, binary_gb=80, jobs=33),
+    "M5": dict(order=16384, elements=0.26, text_gb=5, binary_gb=2, jobs=9),
+}
+
+
+@dataclass
+class Table3Row:
+    name: str
+    order: int
+    elements_billion: float
+    text_gb: float
+    binary_gb: float
+    jobs_formula: int
+    jobs_paper: int
+    jobs_executed: int | None = None
+
+
+@dataclass
+class Table3Result:
+    rows: list[Table3Row]
+    scale: int
+
+    def all_job_counts_match(self) -> bool:
+        return all(
+            r.jobs_formula == r.jobs_paper
+            and (r.jobs_executed is None or r.jobs_executed == r.jobs_formula)
+            for r in self.rows
+        )
+
+
+def run(
+    *,
+    execute: bool = True,
+    scale: int = 128,
+    m0: int = 4,
+    matrices: tuple[SuiteMatrix, ...] = TABLE3,
+    harness: ExperimentHarness | None = None,
+) -> Table3Result:
+    harness = harness or ExperimentHarness()
+    rows: list[Table3Row] = []
+    for m in matrices:
+        executed_jobs = None
+        if execute:
+            result = harness.run(m.order(scale), m.nb(scale), m0, seed=m.seed)
+            executed_jobs = result.num_jobs
+        rows.append(
+            Table3Row(
+                name=m.name,
+                order=m.paper_order,
+                elements_billion=m.elements_billion,
+                text_gb=m.text_gb,
+                binary_gb=m.binary_gb,
+                jobs_formula=m.jobs,
+                jobs_paper=PAPER_ROWS[m.name]["jobs"],
+                jobs_executed=executed_jobs,
+            )
+        )
+    return Table3Result(rows=rows, scale=scale)
+
+
+def format_result(res: Table3Result) -> str:
+    rows = [
+        [
+            r.name,
+            r.order,
+            round(r.elements_billion, 2),
+            round(r.text_gb, 1),
+            round(r.binary_gb, 1),
+            r.jobs_formula,
+            r.jobs_paper,
+            "-" if r.jobs_executed is None else r.jobs_executed,
+        ]
+        for r in res.rows
+    ]
+    return format_table(
+        [
+            "Matrix",
+            "Order",
+            "Elements (B)",
+            "Text (GB)",
+            "Binary (GB)",
+            "Jobs (formula)",
+            "Jobs (paper)",
+            f"Jobs (executed, 1/{res.scale} scale)",
+        ],
+        rows,
+        title=f"Table 3 — experiment matrices (nb={PAPER_NB})",
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

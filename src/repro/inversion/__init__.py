@@ -1,0 +1,39 @@
+"""The paper's contribution: matrix inversion as a pipeline of MapReduce jobs.
+
+Public surface:
+
+* :func:`invert` / :class:`MatrixInverter` — end-to-end inversion;
+* :class:`InversionConfig` — the paper's tunables (nb, m0, Section 6 toggles);
+* :class:`InversionPlan` — the precomputed recursion tree and job counts;
+* :class:`Layout` — the deterministic Figure 4 file layout.
+"""
+
+from .config import InversionConfig
+from .driver import InversionResult, LUFactors, MatrixInverter, invert
+from .layout import Layout
+from .plan import (
+    InversionPlan,
+    PlanNode,
+    depth,
+    intermediate_file_count,
+    lu_job_count,
+    total_job_count,
+)
+from .regions import BlockRef, Region
+
+__all__ = [
+    "BlockRef",
+    "InversionConfig",
+    "InversionPlan",
+    "InversionResult",
+    "LUFactors",
+    "Layout",
+    "MatrixInverter",
+    "PlanNode",
+    "Region",
+    "depth",
+    "intermediate_file_count",
+    "invert",
+    "lu_job_count",
+    "total_job_count",
+]

@@ -1,0 +1,80 @@
+"""Configuration of one inversion run.
+
+Collects the paper's tunables in one place: the bound value ``nb``
+(Section 5), the cluster width ``m0``, and the three optimization toggles of
+Section 6 — each independently switchable so the Figure 7 ablations can run
+the unoptimized variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..linalg.blockwrap import factor_grid
+
+
+@dataclass(frozen=True)
+class InversionConfig:
+    """Tunables of the MapReduce inversion pipeline.
+
+    Attributes
+    ----------
+    nb:
+        Bound value: blocks of order <= nb are LU-decomposed serially on the
+        master node (paper uses 3200 on EC2; scaled-down runs use smaller).
+    m0:
+        Number of compute nodes = map tasks = reduce tasks per job.  Must be
+        even (half the mappers compute L2', half U2 — Section 5.3) unless 2.
+    separate_files:
+        Section 6.1 — keep intermediate L/U pieces in separate files.  When
+        off, the master serially combines each job's factor files (the
+        unoptimized variant measured in Figure 7).
+    block_wrap:
+        Section 6.2 — block-wrap multiplication over the f1 x f2 grid.  When
+        off, reducers use the naive row-slab scheme reading all of U2.
+    transpose_u:
+        Section 6.3 — store U factors transposed (row-major locality).
+    pivot:
+        Partial pivoting within diagonal blocks (the paper always pivots;
+        off only for numerical experiments).
+    root:
+        DFS work directory (the paper's "Root").
+    input_format:
+        "binary" (default) or "text" — Table 3 reports both sizes; text
+        reproduces the paper's a.txt ingestion.
+    """
+
+    nb: int = 64
+    m0: int = 4
+    separate_files: bool = True
+    block_wrap: bool = True
+    transpose_u: bool = True
+    pivot: bool = True
+    root: str = "/Root"
+    input_format: str = "binary"
+
+    def __post_init__(self) -> None:
+        if self.nb < 1:
+            raise ValueError("nb must be >= 1")
+        if self.m0 < 2:
+            raise ValueError("m0 must be >= 2 (half map L2', half map U2)")
+        if self.m0 % 2:
+            raise ValueError("m0 must be even (Section 5.3 splits mappers in half)")
+        if self.input_format not in ("binary", "text"):
+            raise ValueError(f"unknown input_format {self.input_format!r}")
+
+    @property
+    def mhalf(self) -> int:
+        """Mappers assigned to the L side (= m0/2, Section 5.3)."""
+        return self.m0 // 2
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        """The (f1, f2) block-wrap grid with m0 = f1 * f2 (Section 6.2)."""
+        return factor_grid(self.m0)
+
+    def with_overrides(self, **kwargs) -> "InversionConfig":
+        """A copy with some fields replaced (ablation helper)."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)

@@ -1,0 +1,461 @@
+"""End-to-end driver: ``A -> A^-1`` through the MapReduce pipeline.
+
+Implements the workflow of Section 5 / Figure 2:
+
+1. the master writes the input matrix and the ``MapInput/A.<j>`` control
+   files to the DFS;
+2. one map-only job partitions the input (Algorithm 3);
+3. the recursion of Algorithm 2 runs as an in-order walk of the precomputed
+   plan tree — leaves are LU-decomposed *on the master* (Algorithm 1),
+   internal nodes run one MapReduce job each for ``L2'``/``U2``/Schur;
+4. a final job inverts the triangular factors and multiplies them;
+5. the master assembles ``A^-1`` from the reducers' block files, applying the
+   pivot column permutation.
+
+Everything the run did — job results, master phases, I/O, flops — is captured
+in an :class:`InversionResult` so experiments can replay it on the simulated
+cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dfs import formats
+from ..dfs.filesystem import DFS
+from ..dfs.iostats import IOSnapshot
+from ..linalg import verify
+from ..linalg.lu import lu_decompose, lu_flop_count
+from ..mapreduce import MapReduceRuntime, Pipeline, PipelineRecord, RuntimeConfig
+from ..mapreduce.faults import FaultPolicy
+from .config import InversionConfig
+from .factors import (
+    combine_factors,
+    read_lower,
+    read_perm,
+    read_upper,
+    write_leaf_factors,
+)
+from .invert_job import invert_job, read_final_inverse, reducer_indices
+from .layout import Layout
+from .lu_jobs import lu_job, partition_job
+from .plan import InversionPlan, PlanNode
+
+
+class MasterIO:
+    """DFS adapter for master-side phases with byte accounting.
+
+    Satisfies the same reader/writer protocol as a task context, so the
+    recursive factor assembly and Region reads work unchanged on the master.
+    """
+
+    def __init__(self, dfs: DFS) -> None:
+        self.dfs = dfs
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def take_io(self) -> tuple[int, int]:
+        """Return and reset the accumulated (read, written) byte counts."""
+        r, w = self.bytes_read, self.bytes_written
+        self.bytes_read = 0
+        self.bytes_written = 0
+        return r, w
+
+    def read_bytes(self, path: str) -> bytes:
+        data = self.dfs.read_bytes(path)
+        self.bytes_read += len(data)
+        return data
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        self.dfs.write_bytes(path, data)
+        self.bytes_written += len(data)
+
+    def read_matrix(self, path: str) -> np.ndarray:
+        return formats.decode_matrix(self.read_bytes(path))
+
+    def read_rows(self, path: str, r1: int, r2: int) -> np.ndarray:
+        m = formats.read_rows(self.dfs, path, r1, r2)
+        self.bytes_read += m.nbytes
+        return m
+
+    def exists(self, path: str) -> bool:
+        return self.dfs.exists(path)
+
+
+@dataclass
+class InversionResult:
+    """Outcome of one pipeline run."""
+
+    inverse: np.ndarray
+    plan: InversionPlan
+    layout: Layout
+    record: PipelineRecord
+    config: InversionConfig
+    io: IOSnapshot = field(default_factory=IOSnapshot)
+
+    @property
+    def num_jobs(self) -> int:
+        """MapReduce jobs launched (Table 3's "Number of Jobs")."""
+        return self.record.num_jobs
+
+    def residual(self, a: np.ndarray) -> float:
+        """Section 7.2's ``max |I - A A^-1|``."""
+        return verify.identity_residual(a, self.inverse)
+
+    def total_flops(self) -> float:
+        task_flops = sum(t.flops for t in self.record.all_traces())
+        master_flops = sum(p.flops for p in self.record.master_phases)
+        return task_flops + master_flops
+
+
+@dataclass
+class LUFactors:
+    """Assembled distributed LU factorization: ``P A = L U``."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+    perm: np.ndarray
+    plan: InversionPlan
+    record: PipelineRecord
+
+
+class MatrixInverter:
+    """Public API: invert (or LU-decompose) matrices on a MapReduce runtime.
+
+    Parameters
+    ----------
+    config:
+        Pipeline tunables (:class:`InversionConfig`).  Defaults match the
+        paper's setup scaled down (nb=64, m0=4, all optimizations on).
+    runtime:
+        An existing :class:`MapReduceRuntime` to run on; when omitted a fresh
+        serial runtime with its own DFS is created (and shut down by
+        ``close``).
+    fault_policy:
+        Optional fault injection (only used when the runtime is created here).
+    """
+
+    def __init__(
+        self,
+        config: InversionConfig | None = None,
+        runtime: MapReduceRuntime | None = None,
+        runtime_config: RuntimeConfig | None = None,
+        fault_policy: FaultPolicy | None = None,
+    ) -> None:
+        self.config = config or InversionConfig()
+        self._owns_runtime = runtime is None
+        self.runtime = runtime or MapReduceRuntime(
+            config=runtime_config, fault_policy=fault_policy
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._owns_runtime:
+            self.runtime.shutdown()
+
+    def __enter__(self) -> "MatrixInverter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _prepare(
+        self, a: np.ndarray, *, resume: bool = False
+    ) -> tuple[Layout, Pipeline, MasterIO]:
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {a.shape}")
+        n = a.shape[0]
+        cfg = self.config
+        plan = InversionPlan(n=n, nb=cfg.nb, m0=cfg.m0, root=cfg.root)
+        plan.validate()
+        layout = Layout(plan, cfg, n)
+        dfs = self.runtime.dfs
+        if resume and dfs.exists(layout.input_path):
+            # Resuming a previous run of the same matrix: keep the DFS state
+            # and skip the ingestion phase entirely.
+            if cfg.input_format == "binary":
+                stored = formats.matrix_shape(dfs, layout.input_path)
+                if stored != (n, n):
+                    raise ValueError(
+                        f"cannot resume: stored input is {stored}, new input "
+                        f"is {(n, n)}"
+                    )
+            return layout, Pipeline(self.runtime), MasterIO(dfs)
+        if dfs.exists(cfg.root):
+            dfs.delete(cfg.root, recursive=True)
+
+        master = MasterIO(dfs)
+        pipeline = Pipeline(self.runtime)
+
+        # Step 1 (Section 5.1): master writes the input and control files.
+        def write_inputs() -> None:
+            if cfg.input_format == "binary":
+                master.write_bytes(layout.input_path, formats.encode_matrix(a))
+            else:
+                master.write_bytes(
+                    layout.input_path,
+                    formats.encode_matrix_text(a).encode("utf-8"),
+                )
+            for j in range(cfg.m0):
+                master.write_bytes(layout.map_input_path(j), str(j).encode())
+
+        pipeline.master_phase("write-input", write_inputs)
+        _, written = master.take_io()
+        pipeline.record.master_phases[-1].bytes_written = written
+        return layout, pipeline, master
+
+    def _node_complete(self, layout: Layout, node: PlanNode) -> bool:
+        """True when a node's factors already exist on the DFS.
+
+        Because every intermediate lives in HDFS, the pipeline is naturally
+        resumable after a *driver* failure: completed subtrees are detected
+        by their persisted outputs and skipped (task-level failures are
+        handled separately by the JobTracker's retries).
+        """
+        nl = layout.of(node)
+        dfs = self.runtime.dfs
+        if dfs.exists(nl.l_path):  # leaf factors or combined files
+            return dfs.exists(nl.u_path) and dfs.exists(nl.p_path)
+        if node.is_leaf:
+            return False
+        return (
+            self._node_complete(layout, node.child1)
+            and all(dfs.exists(p) for p in nl.l2.file_paths())
+            and all(dfs.exists(p) for p in nl.u2.file_paths())
+            and all(dfs.exists(p) for p in nl.out.file_paths())
+            and self._node_complete(layout, node.child2)
+        )
+
+    def _decompose(
+        self, layout: Layout, pipeline: Pipeline, master: MasterIO, node: PlanNode,
+        *, resume: bool = False,
+    ) -> None:
+        """Algorithm 2 as an in-order tree walk."""
+        if resume and self._node_complete(layout, node):
+            return
+        if node.is_leaf:
+            nl = layout.of(node)
+            is_whole_input = node is layout.plan.tree
+
+            def leaf_lu() -> None:
+                if is_whole_input:
+                    # Single-leaf plan (n <= nb): no partition job ran, so the
+                    # master reads the input file directly.
+                    if self.config.input_format == "binary":
+                        block = master.read_matrix(layout.input_path)
+                    else:
+                        block = formats.decode_matrix_text(
+                            master.read_bytes(layout.input_path).decode("utf-8")
+                        )
+                else:
+                    block = nl.matrix.read(master)
+                lu = lu_decompose(block, pivot=self.config.pivot)
+                write_leaf_factors(
+                    master, nl, lu, transpose_u=self.config.transpose_u
+                )
+
+            pipeline.master_phase(
+                f"master-lu:{node.dir}", leaf_lu, flops=lu_flop_count(node.n)
+            )
+            r, w = master.take_io()
+            pipeline.record.master_phases[-1].bytes_read = r
+            pipeline.record.master_phases[-1].bytes_written = w
+            return
+
+        self._decompose(layout, pipeline, master, node.child1, resume=resume)
+        nl = layout.of(node)
+        job_done = resume and all(
+            self.runtime.dfs.exists(p)
+            for region in (nl.l2, nl.u2, nl.out)
+            for p in region.file_paths()
+        )
+        if not job_done:
+            pipeline.run_job(lu_job(layout, node))
+        self._decompose(layout, pipeline, master, node.child2, resume=resume)
+
+        if not self.config.separate_files:
+            # Section 6.1 ablation: serial combine on the master.
+            def do_combine() -> None:
+                combine_factors(layout, node, master, master)
+
+            pipeline.master_phase(f"combine:{node.dir}", do_combine)
+            r, w = master.take_io()
+            pipeline.record.master_phases[-1].bytes_read = r
+            pipeline.record.master_phases[-1].bytes_written = w
+
+    def _assemble_inverse(
+        self, layout: Layout, pipeline: Pipeline, master: MasterIO
+    ) -> np.ndarray:
+        """Collect the final job's blocks into ``A^-1`` (column permutation
+        by the pivot array S, Section 4.3)."""
+        n = layout.plan.tree.n
+        out = np.zeros((n, n))
+
+        def collect() -> None:
+            out[:] = read_final_inverse(layout, master)
+
+        pipeline.master_phase("collect-output", collect)
+        r, w = master.take_io()
+        pipeline.record.master_phases[-1].bytes_read = r
+        pipeline.record.master_phases[-1].bytes_written = w
+        return out
+
+    # -- public operations ---------------------------------------------------------
+
+    def invert(self, a: np.ndarray, *, resume: bool = False) -> InversionResult:
+        """Invert ``a`` through the full MapReduce pipeline.
+
+        ``resume=True`` continues a previous run of the same matrix on this
+        runtime's DFS (e.g. after a driver crash): completed stages are
+        detected by their persisted outputs and skipped.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        before = self.runtime.dfs.stats.snapshot()
+        layout, pipeline, master = self._prepare(a, resume=resume)
+        tree = layout.plan.tree
+
+        partition_done = resume and not tree.is_leaf and all(
+            self.runtime.dfs.exists(p)
+            for node in tree.input_nodes()
+            if not node.is_leaf
+            for p in layout.of(node).a3.file_paths()
+        ) and self.runtime.dfs.exists(layout.map_input_path(0))
+        if not tree.is_leaf and not partition_done:
+            pipeline.run_job(partition_job(layout))
+        self._decompose(layout, pipeline, master, tree, resume=resume)
+        pipeline.run_job(invert_job(layout))
+        inverse = self._assemble_inverse(layout, pipeline, master)
+
+        io = self.runtime.dfs.stats.snapshot() - before
+        return InversionResult(
+            inverse=inverse,
+            plan=layout.plan,
+            layout=layout,
+            record=pipeline.record,
+            config=self.config,
+            io=io,
+        )
+
+    def distributed_residual(self, result: InversionResult) -> float:
+        """Section 7.2's check as a MapReduce job: ``max |I - A A^-1|``
+        computed from the DFS state of a completed run (the input file and
+        the final job's block files must still be present on this runtime)."""
+        from .verify_job import verify_job
+
+        job = self.runtime.run_job(verify_job(result.layout))
+        (_, value), = job.reduce_outputs[0]
+        result.record.steps.append(job)
+        return float(value)
+
+    def invert_path(self, path: str) -> InversionResult:
+        """Invert a matrix that already lives on this runtime's DFS (binary
+        format) — the Section 1 deployment story where "the input matrix to
+        be inverted would be generated by a MapReduce job and stored in
+        HDFS".  No driver-side ingestion: the file is linked into the work
+        directory and the pipeline reads it where it lies.
+        """
+        dfs = self.runtime.dfs
+        rows, cols = formats.matrix_shape(dfs, path)
+        if rows != cols:
+            raise ValueError(f"matrix at {path} is {rows}x{cols}, not square")
+        cfg = self.config
+        if cfg.input_format != "binary":
+            raise ValueError("invert_path requires binary input_format")
+        plan = InversionPlan(n=rows, nb=cfg.nb, m0=cfg.m0, root=cfg.root)
+        plan.validate()
+        layout = Layout(plan, cfg, rows)
+        if dfs.exists(cfg.root):
+            dfs.delete(cfg.root, recursive=True)
+
+        before = dfs.stats.snapshot()
+        master = MasterIO(dfs)
+        pipeline = Pipeline(self.runtime)
+
+        def link_inputs() -> None:
+            # Copy the matrix into the work directory (HDFS has no hardlinks;
+            # a rename would destroy the caller's file).
+            master.write_bytes(layout.input_path, dfs.read_bytes(path))
+            for j in range(cfg.m0):
+                master.write_bytes(layout.map_input_path(j), str(j).encode())
+
+        pipeline.master_phase("link-input", link_inputs)
+        _, written = master.take_io()
+        pipeline.record.master_phases[-1].bytes_written = written
+
+        tree = plan.tree
+        if not tree.is_leaf:
+            pipeline.run_job(partition_job(layout))
+        self._decompose(layout, pipeline, master, tree)
+        pipeline.run_job(invert_job(layout))
+        inverse = self._assemble_inverse(layout, pipeline, master)
+        io = dfs.stats.snapshot() - before
+        return InversionResult(
+            inverse=inverse,
+            plan=plan,
+            layout=layout,
+            record=pipeline.record,
+            config=cfg,
+            io=io,
+        )
+
+    def solve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Solve ``A X = B`` end-to-end on the cluster: invert ``A`` through
+        the pipeline, then compute ``A^-1 B`` as a distributed block-wrap
+        multiplication (Section 1's linear-system application, with the
+        product also done where the data lives)."""
+        from ..systemml import MatrixOps, read_matrix, save_matrix
+
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        one_d = b.ndim == 1
+        if one_d:
+            b = b[:, None]
+        if b.shape[0] != a.shape[0]:
+            raise ValueError(f"rhs has {b.shape[0]} rows, matrix is {a.shape[0]}")
+        result = self.invert(a)
+        ops = MatrixOps(self.runtime, m0=self.config.m0)
+        h_inv = save_matrix(
+            self.runtime.dfs, "/solve/Ainv", result.inverse, chunks=self.config.m0
+        )
+        h_b = save_matrix(self.runtime.dfs, "/solve/B", b, chunks=self.config.m0)
+        h_x = ops.multiply(h_inv, h_b, "/solve/X")
+        x = read_matrix(self.runtime.dfs, h_x)
+        return x[:, 0] if one_d else x
+
+    def lu(self, a: np.ndarray) -> LUFactors:
+        """Run only the LU stage and assemble ``P A = L U``."""
+        a = np.asarray(a, dtype=np.float64)
+        layout, pipeline, master = self._prepare(a)
+        tree = layout.plan.tree
+        if not tree.is_leaf:
+            pipeline.run_job(partition_job(layout))
+        self._decompose(layout, pipeline, master, tree)
+        lower = read_lower(layout, tree, master)
+        upper = read_upper(layout, tree, master)
+        perm = read_perm(layout, tree, master)
+        return LUFactors(
+            lower=lower,
+            upper=upper,
+            perm=perm,
+            plan=layout.plan,
+            record=pipeline.record,
+        )
+
+
+def invert(
+    a: np.ndarray,
+    config: InversionConfig | None = None,
+    runtime: MapReduceRuntime | None = None,
+) -> InversionResult:
+    """One-call convenience: invert ``a`` on a fresh (or given) runtime."""
+    inverter = MatrixInverter(config=config, runtime=runtime)
+    try:
+        return inverter.invert(a)
+    finally:
+        inverter.close()

@@ -1,0 +1,134 @@
+"""Recursive assembly of the distributed L, U, and P factors.
+
+With the separate-files optimization (Section 6.1), a decomposed block's
+factors are never combined on disk: the lower factor of an internal node is
+
+    L = [[ L1,       0  ],
+         [ P2 L2',   L3 ]]
+
+with ``L1``/``L3`` recursively assembled from the children and ``L2'`` read
+from the node's ``L2/L.<j>`` part files; the row permutation ``P2`` is applied
+*as the data is read* ("L2 is constructed only as it is read from HDFS",
+Section 5.3).  Analogously ``U = [[U1, U2], [0, U3]]`` and
+``P = augment(P1, P2)``.
+
+When the optimization is off, the master combines each internal node's
+factors into ``<dir>/OUT/{l.bin, u.bin|ut.bin, p.bin}`` after its subtree
+finishes; readers hit those files first, so the same functions serve both
+modes (and leaves, whose factors the master writes in the same layout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dfs import formats
+from ..linalg import permutation
+from ..linalg.lu import LUResult
+from .layout import Layout, NodeLayout
+from .plan import PlanNode
+from .regions import MatrixReader
+
+
+class FactorReader(MatrixReader):
+    """Protocol extension: factor assembly also needs existence checks and
+    raw byte reads (for permutation files)."""
+
+    def exists(self, path: str) -> bool: ...
+
+    def read_bytes(self, path: str) -> bytes: ...
+
+
+def perm_to_bytes(perm: np.ndarray) -> bytes:
+    return np.ascontiguousarray(perm, dtype=np.int64).tobytes()
+
+
+def perm_from_bytes(data: bytes) -> np.ndarray:
+    return np.frombuffer(data, dtype=np.int64).copy()
+
+
+def write_leaf_factors(
+    writer,
+    layout_node: NodeLayout,
+    lu: LUResult,
+    *,
+    transpose_u: bool,
+) -> None:
+    """Persist a master-decomposed block's factors (leaf layout).
+
+    ``writer`` needs ``write_bytes(path, data)``; the unit-diagonal L is
+    stored explicitly, U is stored transposed when the Section 6.3
+    optimization is on.
+    """
+    lower = lu.lower()
+    upper = lu.upper()
+    writer.write_bytes(layout_node.l_path, formats.encode_matrix(lower))
+    stored_u = upper.T if transpose_u else upper
+    writer.write_bytes(layout_node.u_path, formats.encode_matrix(stored_u))
+    writer.write_bytes(layout_node.p_path, perm_to_bytes(lu.perm))
+
+
+def read_lower(layout: Layout, node: PlanNode, reader) -> np.ndarray:
+    """Assemble the full lower factor of ``node`` (unit diagonal explicit)."""
+    nl = layout.of(node)
+    if reader.exists(nl.l_path):
+        return formats.decode_matrix(reader.read_bytes(nl.l_path))
+    if node.is_leaf:
+        raise FileNotFoundError(f"leaf factors missing: {nl.l_path}")
+    n1 = node.n1
+    lower = np.zeros((node.n, node.n))
+    lower[:n1, :n1] = read_lower(layout, node.child1, reader)
+    l2 = nl.l2.read(reader)
+    p2 = read_perm(layout, node.child2, reader)
+    lower[n1:, :n1] = permutation.apply_rows(p2, l2)
+    lower[n1:, n1:] = read_lower(layout, node.child2, reader)
+    return lower
+
+
+def read_upper(layout: Layout, node: PlanNode, reader) -> np.ndarray:
+    """Assemble the full upper factor of ``node``."""
+    nl = layout.of(node)
+    if reader.exists(nl.u_path):
+        stored = formats.decode_matrix(reader.read_bytes(nl.u_path))
+        return stored.T if layout.config.transpose_u else stored
+    if node.is_leaf:
+        raise FileNotFoundError(f"leaf factors missing: {nl.u_path}")
+    n1 = node.n1
+    upper = np.zeros((node.n, node.n))
+    upper[:n1, :n1] = read_upper(layout, node.child1, reader)
+    upper[:n1, n1:] = nl.u2.read(reader)
+    upper[n1:, n1:] = read_upper(layout, node.child2, reader)
+    return upper
+
+
+def read_perm(layout: Layout, node: PlanNode, reader) -> np.ndarray:
+    """Assemble the full pivot permutation of ``node`` (compact array S)."""
+    nl = layout.of(node)
+    if reader.exists(nl.p_path):
+        return perm_from_bytes(reader.read_bytes(nl.p_path))
+    if node.is_leaf:
+        raise FileNotFoundError(f"leaf factors missing: {nl.p_path}")
+    return permutation.augment(
+        read_perm(layout, node.child1, reader),
+        read_perm(layout, node.child2, reader),
+    )
+
+
+def combine_factors(layout: Layout, node: PlanNode, reader, writer) -> int:
+    """The *unoptimized* Section 6.1 path: serially combine an internal
+    node's factor pieces into single files on the master.
+
+    Returns the number of bytes written (the combine's serial I/O).
+    """
+    nl = layout.of(node)
+    lower = read_lower(layout, node, reader)
+    upper = read_upper(layout, node, reader)
+    perm = read_perm(layout, node, reader)
+    l_data = formats.encode_matrix(lower)
+    stored_u = upper.T if layout.config.transpose_u else upper
+    u_data = formats.encode_matrix(stored_u)
+    p_data = perm_to_bytes(perm)
+    writer.write_bytes(nl.l_path, l_data)
+    writer.write_bytes(nl.u_path, u_data)
+    writer.write_bytes(nl.p_path, p_data)
+    return len(l_data) + len(u_data) + len(p_data)

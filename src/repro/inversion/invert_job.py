@@ -1,0 +1,194 @@
+"""The final MapReduce job: triangular inversion and the product
+``A^-1 = U^-1 L^-1 P`` (Sections 4.3 and 5.4).
+
+Map phase: the first ``m0/2`` mappers each compute a set of *columns* of
+``L^-1`` (Equation 4 — columns are independent); the rest compute *rows* of
+``U^-1`` via the transposed-lower kernel.  With block wrap enabled, each
+mapper owns a strided (grid) set of indices so load is balanced — early
+columns of ``L^-1`` are much more expensive than late ones, and Section 5.4's
+interleaving ("Mapper0 computes columns 0, 4, 8, 12...") equalizes the work.
+
+Reduce phase: reducer ``p = j1 * f2 + j2`` multiplies its strided rows of
+``U^-1`` with its strided columns of ``L^-1`` (grid-block wrap), producing one
+block of ``C = U^-1 L^-1``.  The driver places each block at
+``A^-1[rows, S[cols]]`` — the column permutation of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dfs import formats
+from ..linalg.blockwrap import contiguous_ranges, strided_indices
+from ..linalg.triangular import invert_lower_columns, invert_upper_rows
+from ..mapreduce import (
+    InputSplit,
+    JobConf,
+    Mapper,
+    Reducer,
+    TaskContext,
+)
+from .factors import read_lower, read_upper
+from .layout import Layout
+from .lu_jobs import control_splits, worker_id
+
+
+def _l_mapper_columns(layout: Layout, j: int, n: int) -> np.ndarray:
+    """Columns of L^-1 owned by L-side mapper ``j``."""
+    cfg = layout.config
+    if cfg.block_wrap:
+        return strided_indices(n, cfg.mhalf, j)
+    c1, c2 = contiguous_ranges(n, cfg.mhalf)[j]
+    return np.arange(c1, c2, dtype=np.int64)
+
+
+def _u_mapper_rows(layout: Layout, i: int, n: int) -> np.ndarray:
+    """Rows of U^-1 owned by U-side mapper ``i`` (0-based within the U half)."""
+    cfg = layout.config
+    uhalf = cfg.m0 - cfg.mhalf
+    if cfg.block_wrap:
+        return strided_indices(n, uhalf, i)
+    r1, r2 = contiguous_ranges(n, uhalf)[i]
+    return np.arange(r1, r2, dtype=np.int64)
+
+
+class InvertMapper(Mapper):
+    """Computes one mapper's share of ``L^-1`` columns or ``U^-1`` rows."""
+
+    def __init__(self, layout: Layout) -> None:
+        self.layout = layout
+
+    def map(self, ctx: TaskContext, split: InputSplit) -> None:
+        j = worker_id(ctx, split)
+        layout = self.layout
+        cfg = layout.config
+        tree = layout.plan.tree
+        n = tree.n
+
+        if j < cfg.mhalf:
+            cols = _l_mapper_columns(layout, j, n)
+            lower = read_lower(layout, tree, ctx)
+            x = invert_lower_columns(lower, cols)  # n x k
+            # Column c of L^-1 costs ~ (n - c)^2 / 2 multiplications (Eq. 4).
+            ctx.report_flops(float(np.sum((n - cols) ** 2)) / 2.0)
+            ctx.write_bytes(layout.inv_l_path(j), formats.encode_matrix(x))
+        else:
+            i = j - cfg.mhalf
+            rows = _u_mapper_rows(layout, i, n)
+            upper = read_upper(layout, tree, ctx)
+            x = invert_upper_rows(upper, rows)  # k x n
+            # Row r of U^-1 is column r of (U^T)^-1: ~ (n - r)^2 / 2 mults.
+            ctx.report_flops(float(np.sum((n - rows) ** 2)) / 2.0)
+            ctx.write_bytes(layout.inv_u_path(i), formats.encode_matrix(x))
+        ctx.emit(j, j)
+
+
+def _gather_rows(
+    ctx: TaskContext, layout: Layout, rows: np.ndarray, n: int
+) -> np.ndarray:
+    """Assemble the requested full-length rows of ``U^-1`` from the strided
+    (or contiguous) mapper output files."""
+    cfg = layout.config
+    uhalf = cfg.m0 - cfg.mhalf
+    out = np.empty((rows.size, n))
+    if cfg.block_wrap:
+        for i in sorted({int(r) % uhalf for r in rows}):
+            data = ctx.read_matrix(layout.inv_u_path(i))
+            mask = rows % uhalf == i
+            out[mask] = data[rows[mask] // uhalf]
+    else:
+        ranges = contiguous_ranges(n, uhalf)
+        for i, (r1, r2) in enumerate(ranges):
+            sel = (rows >= r1) & (rows < r2)
+            if not np.any(sel):
+                continue
+            data = ctx.read_matrix(layout.inv_u_path(i))
+            out[sel] = data[rows[sel] - r1]
+    return out
+
+
+def _gather_cols(
+    ctx: TaskContext, layout: Layout, cols: np.ndarray, n: int
+) -> np.ndarray:
+    """Assemble the requested full-length columns of ``L^-1``."""
+    cfg = layout.config
+    out = np.empty((n, cols.size))
+    if cfg.block_wrap:
+        for j in sorted({int(c) % cfg.mhalf for c in cols}):
+            data = ctx.read_matrix(layout.inv_l_path(j))
+            mask = cols % cfg.mhalf == j
+            out[:, mask] = data[:, cols[mask] // cfg.mhalf]
+    else:
+        ranges = contiguous_ranges(n, cfg.mhalf)
+        for j, (c1, c2) in enumerate(ranges):
+            sel = (cols >= c1) & (cols < c2)
+            if not np.any(sel):
+                continue
+            data = ctx.read_matrix(layout.inv_l_path(j))
+            out[:, sel] = data[:, cols[sel] - c1]
+    return out
+
+
+def reducer_indices(layout: Layout, p: int, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """(rows of U^-1, cols of L^-1) owned by final-job reducer ``p`` — shared
+    with the driver, which uses the same function to place blocks."""
+    cfg = layout.config
+    if cfg.block_wrap:
+        f1, f2 = cfg.grid
+        j1, j2 = divmod(p, f2)
+        return strided_indices(n, f1, j1), strided_indices(n, f2, j2)
+    r1, r2 = contiguous_ranges(n, cfg.m0)[p]
+    return np.arange(r1, r2, dtype=np.int64), np.arange(n, dtype=np.int64)
+
+
+class InvertReducer(Reducer):
+    """Reducer p: one grid block of ``C = U^-1 L^-1``."""
+
+    def __init__(self, layout: Layout) -> None:
+        self.layout = layout
+
+    def reduce(self, ctx: TaskContext, key, values) -> None:
+        for _ in values:
+            pass
+        p = int(key)
+        layout = self.layout
+        n = layout.plan.tree.n
+        rows, cols = reducer_indices(layout, p, n)
+        if rows.size == 0 or cols.size == 0:
+            return
+        u_rows = _gather_rows(ctx, layout, rows, n)
+        l_cols = _gather_cols(ctx, layout, cols, n)
+        block = u_rows @ l_cols
+        ctx.report_flops(float(rows.size) * cols.size * n)
+        ctx.write_bytes(layout.final_path(p), formats.encode_matrix(block))
+
+
+def read_final_inverse(layout: Layout, reader) -> np.ndarray:
+    """Assemble ``A^-1`` from the final job's block files, applying the pivot
+    column permutation (used by the driver and by the verification job's
+    mappers — both read the same reducer outputs)."""
+    from .factors import read_perm
+
+    n = layout.plan.tree.n
+    out = np.zeros((n, n))
+    perm = read_perm(layout, layout.plan.tree, reader)
+    for p in range(layout.config.m0):
+        rows, cols = reducer_indices(layout, p, n)
+        if rows.size == 0 or cols.size == 0:
+            continue
+        block = formats.decode_matrix(reader.read_bytes(layout.final_path(p)))
+        out[np.ix_(rows, perm[cols])] = block
+    return out
+
+
+def invert_job(layout: Layout) -> JobConf:
+    """The final job: ``m0`` mappers invert the triangular factors, ``m0``
+    reducers multiply them (Figure 2's last stage)."""
+    m0 = layout.config.m0
+    return JobConf(
+        name="invert-final",
+        mapper_factory=lambda: InvertMapper(layout),
+        reducer_factory=lambda: InvertReducer(layout),
+        splits=control_splits(layout),
+        num_reduce_tasks=m0,
+    )

@@ -1,0 +1,73 @@
+"""1-norm condition-number estimation (Hager/Higham, the LAPACK ``gecon``
+companion to LU).
+
+The paper defers "a deeper investigation of numerical stability" — the first
+tool of such an investigation is a cheap conditioning estimate.  Given the
+LU factors, Hager's method estimates ``||A^-1||_1`` with a handful of
+triangular solves (O(n^2) each) instead of forming the inverse (O(n^3)),
+giving ``cond_1(A) = ||A||_1 * ||A^-1||_1`` almost for free after
+factorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lu import LUResult, lu_decompose, solve_lu
+from .permutation import apply_rows, invert as invert_perm
+from .triangular import blocked_back_substitute, blocked_forward_substitute
+
+
+def one_norm(a: np.ndarray) -> float:
+    """``||A||_1`` — the maximum absolute column sum."""
+    return float(np.max(np.abs(a).sum(axis=0)))
+
+
+def _solve_transpose(lu: LUResult, b: np.ndarray) -> np.ndarray:
+    """Solve ``A^T x = b`` from ``P A = L U``: ``A^T = U^T L^T P`` so
+    ``x = P^T L^-T U^-T b``."""
+    y = blocked_forward_substitute(lu.upper().T, b)
+    z = blocked_back_substitute(lu.lower().T, y, unit_diagonal=True)
+    return apply_rows(invert_perm(lu.perm), z)
+
+
+def estimate_inverse_one_norm(lu: LUResult, max_iterations: int = 5) -> float:
+    """Hager's estimator for ``||A^-1||_1`` using the LU factors.
+
+    Iterates ``x -> A^-1 x`` / ``A^-T sign(..)`` steps; each iteration is two
+    triangular-solve pairs.  Returns a lower bound that is within a small
+    factor of the truth in practice (and exact for many matrices).
+    """
+    n = lu.n
+    x = np.full(n, 1.0 / n)
+    est = 0.0
+    last_sign = np.zeros(n)
+    for _ in range(max_iterations):
+        y = solve_lu(lu, x)  # y = A^-1 x
+        est = float(np.abs(y).sum())
+        sign = np.sign(y)
+        sign[sign == 0] = 1.0
+        if np.array_equal(sign, last_sign):
+            break
+        last_sign = sign
+        z = _solve_transpose(lu, sign)  # z = A^-T sign
+        j = int(np.argmax(np.abs(z)))
+        if np.abs(z[j]) <= z @ x:
+            break
+        x = np.zeros(n)
+        x[j] = 1.0
+    return est
+
+
+def condition_estimate(a: np.ndarray, lu: LUResult | None = None) -> float:
+    """Estimated 1-norm condition number ``||A||_1 ||A^-1||_1``."""
+    a = np.asarray(a, dtype=np.float64)
+    if lu is None:
+        lu = lu_decompose(a)
+    return one_norm(a) * estimate_inverse_one_norm(lu)
+
+
+def expected_residual_bound(a: np.ndarray, lu: LUResult | None = None) -> float:
+    """A forward-error yardstick for Section 7.2: the identity residual of a
+    backward-stable inversion is ~ ``cond_1(A) * machine_eps``."""
+    return condition_estimate(a, lu) * np.finfo(np.float64).eps

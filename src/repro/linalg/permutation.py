@@ -1,0 +1,84 @@
+"""Row-permutation utilities.
+
+The paper stores the pivoting permutation compactly as an array ``S`` where
+``[S]_i`` is the source row of permuted row *i* — i.e. row *i* of ``PA`` is
+row ``S[i]`` of ``A`` (Section 4.1).  All pipeline code passes these arrays
+around instead of dense permutation matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def identity(n: int) -> np.ndarray:
+    """The identity permutation on ``n`` rows."""
+    return np.arange(n, dtype=np.int64)
+
+
+def is_permutation(s: np.ndarray) -> bool:
+    """True iff ``s`` is a bijection of ``0..len(s)-1``."""
+    s = np.asarray(s)
+    if s.ndim != 1:
+        return False
+    n = s.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    for v in s:
+        if not (0 <= v < n) or seen[v]:
+            return False
+        seen[v] = True
+    return True
+
+
+def apply_rows(s: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Compute ``P A``: row *i* of the result is row ``s[i]`` of ``a``."""
+    return a[np.asarray(s, dtype=np.int64)]
+
+
+def apply_columns(s: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Compute ``A P``: the column permutation used for the final
+    ``A^-1 = (U^-1 L^-1) P`` step.
+
+    With ``P`` defined by ``(PA)_i = A_{s[i]}`` we have ``P_{ik} = 1`` iff
+    ``k = s[i]``, so ``(CP)_{i, s[k]} = C_{i, k}`` — column ``s[k]`` of the
+    result is column ``k`` of ``C``.
+    """
+    s = np.asarray(s, dtype=np.int64)
+    out = np.empty_like(a)
+    out[:, s] = a
+    return out
+
+
+def invert(s: np.ndarray) -> np.ndarray:
+    """The inverse permutation: ``invert(s)[s[i]] = i``."""
+    s = np.asarray(s, dtype=np.int64)
+    inv = np.empty_like(s)
+    inv[s] = np.arange(s.shape[0], dtype=np.int64)
+    return inv
+
+
+def compose(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Permutation of applying ``inner`` first, then ``outer``:
+    ``apply_rows(compose(outer, inner), a) == apply_rows(outer, apply_rows(inner, a))``.
+    """
+    inner = np.asarray(inner, dtype=np.int64)
+    outer = np.asarray(outer, dtype=np.int64)
+    return inner[outer]
+
+
+def augment(p1: np.ndarray, p2: np.ndarray) -> np.ndarray:
+    """Block-diagonal combination used at each recursion level of Algorithm 2:
+    ``P = diag(P1, P2)`` acting on the stacked rows, with ``p2``'s indices
+    shifted past ``p1``'s block."""
+    p1 = np.asarray(p1, dtype=np.int64)
+    p2 = np.asarray(p2, dtype=np.int64)
+    return np.concatenate([p1, p2 + p1.shape[0]])
+
+
+def to_matrix(s: np.ndarray) -> np.ndarray:
+    """Dense ``P`` with ``P @ A == apply_rows(s, A)`` (for verification only)."""
+    s = np.asarray(s, dtype=np.int64)
+    n = s.shape[0]
+    p = np.zeros((n, n))
+    p[np.arange(n), s] = 1.0
+    return p

@@ -1,0 +1,229 @@
+"""Triangular inversion and substitution — Equation 4 of the paper.
+
+The inverse of a lower triangular matrix is computed row by row:
+
+    [L^-1]_ii = 1 / [L]_ii
+    [L^-1]_ij = -(1/[L]_ii) * sum_{k=j}^{i-1} [L]_ik [L^-1]_kj   (i > j)
+
+A column of the inverse depends only on earlier rows of the *same* column, so
+columns are independent — this is what Section 4.3 parallelizes across
+mappers.  :func:`invert_lower_columns` computes an arbitrary column subset,
+which is exactly a map task's share; :func:`invert_lower` is the full-matrix
+convenience built on the same kernel.
+
+Upper-triangular inversion reuses the lower kernel on the transpose
+(Section 6.3: the implementation always stores ``U`` transposed), so
+``U^-1 = (invert_lower(U^T))^T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TriangularShapeError(ValueError):
+    """Raised when an input is not (numerically) triangular."""
+
+
+def _check_square(m: np.ndarray, what: str) -> np.ndarray:
+    m = np.asarray(m, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise TriangularShapeError(f"{what} must be square, got shape {m.shape}")
+    return m
+
+
+def is_lower_triangular(m: np.ndarray, tol: float = 0.0) -> bool:
+    m = np.asarray(m)
+    return bool(np.all(np.abs(np.triu(m, k=1)) <= tol))
+
+
+def is_upper_triangular(m: np.ndarray, tol: float = 0.0) -> bool:
+    m = np.asarray(m)
+    return bool(np.all(np.abs(np.tril(m, k=-1)) <= tol))
+
+
+def _check_invertible_diagonal(diag: np.ndarray) -> None:
+    if np.any(diag == 0.0):
+        idx = int(np.argmax(diag == 0.0))
+        raise np.linalg.LinAlgError(f"triangular matrix singular: zero diagonal at {idx}")
+
+
+# -- substitution -------------------------------------------------------------
+
+
+def forward_substitute(
+    l: np.ndarray, b: np.ndarray, *, unit_diagonal: bool = False
+) -> np.ndarray:
+    """Solve ``L y = b`` for lower-triangular ``L`` (b may have many columns)."""
+    l = _check_square(l, "L")
+    b = np.asarray(b, dtype=np.float64)
+    y = b.astype(np.float64, copy=True)
+    one_d = y.ndim == 1
+    if one_d:
+        y = y[:, None]
+    n = l.shape[0]
+    if y.shape[0] != n:
+        raise ValueError(f"rhs has {y.shape[0]} rows, L is {n}x{n}")
+    if not unit_diagonal:
+        _check_invertible_diagonal(np.diag(l))
+    for i in range(n):
+        if i:
+            y[i] -= l[i, :i] @ y[:i]
+        if not unit_diagonal:
+            y[i] /= l[i, i]
+    return y[:, 0] if one_d else y
+
+
+def back_substitute(u: np.ndarray, b: np.ndarray, *, unit_diagonal: bool = False) -> np.ndarray:
+    """Solve ``U x = b`` for upper-triangular ``U``."""
+    u = _check_square(u, "U")
+    b = np.asarray(b, dtype=np.float64)
+    x = b.astype(np.float64, copy=True)
+    one_d = x.ndim == 1
+    if one_d:
+        x = x[:, None]
+    n = u.shape[0]
+    if x.shape[0] != n:
+        raise ValueError(f"rhs has {x.shape[0]} rows, U is {n}x{n}")
+    if not unit_diagonal:
+        _check_invertible_diagonal(np.diag(u))
+    for i in range(n - 1, -1, -1):
+        if i + 1 < n:
+            x[i] -= u[i, i + 1 :] @ x[i + 1 :]
+        if not unit_diagonal:
+            x[i] /= u[i, i]
+    return x[:, 0] if one_d else x
+
+
+# -- blocked (BLAS-3) substitution ---------------------------------------------
+
+
+def blocked_forward_substitute(
+    l: np.ndarray,
+    b: np.ndarray,
+    *,
+    unit_diagonal: bool = False,
+    block: int = 64,
+) -> np.ndarray:
+    """Recursive blocked solve of ``L Y = B``.
+
+    The row-by-row kernel issues O(n) small BLAS-1/2 calls; this variant
+    recurses on ``L = [[L11, 0], [L21, L22]]`` — solve L11, one big GEMM
+    update, solve L22 — turning most of the work into matrix-matrix products
+    (the cache-friendly formulation the HPC guides recommend).  Identical
+    arithmetic up to roundoff; used by the inversion kernels for large
+    operands.
+    """
+    l = _check_square(l, "L")
+    b = np.asarray(b, dtype=np.float64)
+    one_d = b.ndim == 1
+    y = b.astype(np.float64, copy=True)
+    if one_d:
+        y = y[:, None]
+    n = l.shape[0]
+    if y.shape[0] != n:
+        raise ValueError(f"rhs has {y.shape[0]} rows, L is {n}x{n}")
+
+    def solve(lo: int, hi: int) -> None:
+        if hi - lo <= block:
+            sub = l[lo:hi, lo:hi]
+            y[lo:hi] = forward_substitute(sub, y[lo:hi], unit_diagonal=unit_diagonal)
+            return
+        mid = (lo + hi) // 2
+        solve(lo, mid)
+        y[mid:hi] -= l[mid:hi, lo:mid] @ y[lo:mid]
+        solve(mid, hi)
+
+    solve(0, n)
+    return y[:, 0] if one_d else y
+
+
+def blocked_back_substitute(
+    u: np.ndarray,
+    b: np.ndarray,
+    *,
+    unit_diagonal: bool = False,
+    block: int = 64,
+) -> np.ndarray:
+    """Recursive blocked solve of ``U X = B`` (mirror of the forward case)."""
+    u = _check_square(u, "U")
+    b = np.asarray(b, dtype=np.float64)
+    one_d = b.ndim == 1
+    x = b.astype(np.float64, copy=True)
+    if one_d:
+        x = x[:, None]
+    n = u.shape[0]
+    if x.shape[0] != n:
+        raise ValueError(f"rhs has {x.shape[0]} rows, U is {n}x{n}")
+
+    def solve(lo: int, hi: int) -> None:
+        if hi - lo <= block:
+            sub = u[lo:hi, lo:hi]
+            x[lo:hi] = back_substitute(sub, x[lo:hi], unit_diagonal=unit_diagonal)
+            return
+        mid = (lo + hi) // 2
+        solve(mid, hi)
+        x[lo:mid] -= u[lo:mid, mid:hi] @ x[mid:hi]
+        solve(lo, mid)
+
+    solve(0, n)
+    return x[:, 0] if one_d else x
+
+
+# -- inversion (Equation 4) ----------------------------------------------------
+
+
+def invert_lower_columns(l: np.ndarray, columns: np.ndarray | list[int]) -> np.ndarray:
+    """Columns ``columns`` of ``L^-1`` via Equation 4.
+
+    Returns an ``n x len(columns)`` array; column *t* of the result is column
+    ``columns[t]`` of the inverse.  This is the unit of work of one mapper in
+    the final inversion job (Section 5.4 assigns each mapper a strided set of
+    columns for load balance).
+    """
+    l = _check_square(l, "L")
+    cols = np.asarray(columns, dtype=np.int64)
+    n = l.shape[0]
+    if cols.size and (cols.min() < 0 or cols.max() >= n):
+        raise ValueError("column index out of range")
+    diag = np.diag(l)
+    _check_invertible_diagonal(diag)
+    x = np.zeros((n, cols.size))
+    # Row i of each requested column: Equation 4, vectorized across columns.
+    sel = np.zeros((n, cols.size))
+    sel[cols, np.arange(cols.size)] = 1.0  # identity restricted to the columns
+    for i in range(n):
+        acc = sel[i]
+        if i:
+            acc = acc - l[i, :i] @ x[:i]
+        x[i] = acc / diag[i]
+    return x
+
+
+def invert_lower(l: np.ndarray) -> np.ndarray:
+    """Full ``L^-1`` (Equation 4 over all columns)."""
+    n = _check_square(l, "L").shape[0]
+    return invert_lower_columns(l, np.arange(n))
+
+
+def invert_upper(u: np.ndarray) -> np.ndarray:
+    """``U^-1`` computed through the transposed-lower kernel (Section 6.3:
+    the pipeline stores ``U^T`` and inverts it as a lower triangular matrix)."""
+    u = _check_square(u, "U")
+    return invert_lower(u.T).T
+
+
+def invert_upper_rows(u: np.ndarray, rows: np.ndarray | list[int]) -> np.ndarray:
+    """Rows ``rows`` of ``U^-1`` — one mapper's share in the final job.
+
+    Row *i* of ``U^-1`` is column *i* of ``(U^T)^-1``; computed via the
+    column kernel on the transpose and returned as ``len(rows) x n``.
+    """
+    u = _check_square(u, "U")
+    return invert_lower_columns(u.T, rows).T
+
+
+def triangular_inverse_flop_count(n: int) -> float:
+    """Multiplications for inverting one order-n triangular factor (~n^3/6);
+    the pair plus the final product totals 2/3 n^3 as in Table 2."""
+    return float(n) ** 3 / 6.0

@@ -1,0 +1,49 @@
+"""Numerical verification helpers.
+
+Section 7.2 validates the implementation by computing ``I_n - M M^-1`` and
+checking every element is below 1e-5; these helpers compute that residual and
+the factorization residual ``P A - L U`` used throughout the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import permutation
+
+#: The acceptance threshold of Section 7.2.
+PAPER_RESIDUAL_BOUND = 1e-5
+
+
+def identity_residual(a: np.ndarray, a_inv: np.ndarray) -> float:
+    """``max |I - A A^-1|`` — the paper's correctness metric (Section 7.2)."""
+    a = np.asarray(a, dtype=np.float64)
+    a_inv = np.asarray(a_inv, dtype=np.float64)
+    n = a.shape[0]
+    return float(np.max(np.abs(np.eye(n) - a @ a_inv)))
+
+
+def two_sided_identity_residual(a: np.ndarray, a_inv: np.ndarray) -> float:
+    """Worse of ``|I - A A^-1|`` and ``|I - A^-1 A|`` (inverses commute)."""
+    return max(identity_residual(a, a_inv), identity_residual(a_inv, a))
+
+
+def lu_residual(a: np.ndarray, lower: np.ndarray, upper: np.ndarray, perm: np.ndarray) -> float:
+    """``max |P A - L U|`` for a pivoted factorization."""
+    pa = permutation.apply_rows(perm, np.asarray(a, dtype=np.float64))
+    return float(np.max(np.abs(pa - lower @ upper)))
+
+
+def relative_error(actual: np.ndarray, expected: np.ndarray) -> float:
+    """Frobenius-norm relative error, guarding the zero-matrix case."""
+    expected = np.asarray(expected, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    denom = np.linalg.norm(expected)
+    if denom == 0.0:
+        return float(np.linalg.norm(actual))
+    return float(np.linalg.norm(actual - expected) / denom)
+
+
+def passes_paper_bound(a: np.ndarray, a_inv: np.ndarray) -> bool:
+    """Section 7.2 acceptance: every element of ``I - A A^-1`` under 1e-5."""
+    return identity_residual(a, a_inv) < PAPER_RESIDUAL_BOUND

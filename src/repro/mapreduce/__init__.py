@@ -1,0 +1,76 @@
+"""From-scratch MapReduce engine (the paper's Hadoop substrate).
+
+Implements the full programming model the inversion pipeline targets: mappers
+and reducers with contexts, a hash-partitioned sorted shuffle with combiner
+support, a JobTracker with retry and speculative execution, fault injection,
+Hadoop-style counters, and multi-job pipelines with master-side phases.
+"""
+
+from .counters import Counters
+from .history import HistoryReport, JobSummary
+from .faults import (
+    FailAlways,
+    FailNever,
+    FailOnce,
+    FailRandomly,
+    FaultPolicy,
+    InjectedTaskFailure,
+)
+from .job import (
+    FnMapper,
+    FnReducer,
+    JobConf,
+    Mapper,
+    Reducer,
+    TaskContext,
+    default_partitioner,
+    splits_for_workers,
+)
+from .master import JobFailedError, JobTracker
+from .pipeline import MasterPhase, Pipeline, PipelineRecord
+from .runtime import MapReduceRuntime, RuntimeConfig
+from .types import (
+    InputSplit,
+    JobId,
+    JobResult,
+    TaskAttemptId,
+    TaskId,
+    TaskKind,
+    TaskState,
+    TaskTrace,
+)
+
+__all__ = [
+    "Counters",
+    "HistoryReport",
+    "JobSummary",
+    "FailAlways",
+    "FailNever",
+    "FailOnce",
+    "FailRandomly",
+    "FaultPolicy",
+    "FnMapper",
+    "FnReducer",
+    "InjectedTaskFailure",
+    "InputSplit",
+    "JobConf",
+    "JobFailedError",
+    "JobId",
+    "JobResult",
+    "JobTracker",
+    "Mapper",
+    "MapReduceRuntime",
+    "MasterPhase",
+    "Pipeline",
+    "PipelineRecord",
+    "Reducer",
+    "RuntimeConfig",
+    "TaskAttemptId",
+    "TaskContext",
+    "TaskId",
+    "TaskKind",
+    "TaskState",
+    "TaskTrace",
+    "default_partitioner",
+    "splits_for_workers",
+]

@@ -1,0 +1,107 @@
+"""Fault injection for the MapReduce engine.
+
+Section 7.4 of the paper reports a run where "one mapper computing the inverse
+of a triangular matrix failed and ... did not restart until one of the other
+mappers finished", demonstrating MapReduce's fault tolerance.  These policies
+let tests and the Section 7.4 experiment inject exactly that kind of failure
+deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from .types import TaskAttemptId, TaskKind
+
+
+class InjectedTaskFailure(RuntimeError):
+    """Raised inside a task attempt when a fault policy triggers."""
+
+
+class FaultPolicy:
+    """Base policy: never fails anything."""
+
+    def should_fail(self, attempt: TaskAttemptId) -> bool:
+        return False
+
+    def maybe_fail(self, attempt: TaskAttemptId) -> None:
+        if self.should_fail(attempt):
+            raise InjectedTaskFailure(f"injected failure of {attempt}")
+
+
+@dataclass
+class FailNever(FaultPolicy):
+    """Explicit no-op policy."""
+
+
+@dataclass
+class FailOnce(FaultPolicy):
+    """Fail specific task attempts exactly once (attempt 0 by default).
+
+    ``targets`` maps ``(job_name_substring, kind, task_index)`` to the attempt
+    number that should fail; retries succeed, reproducing the paper's
+    "mapper failed, was rescheduled, job completed" scenario.
+    """
+
+    job_substring: str
+    kind: TaskKind
+    task_index: int
+    failing_attempt: int = 0
+    _fired: set[str] = field(default_factory=set)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # Job names are matched by substring so callers can target "the first LU
+    # job" or "the final inversion job" without knowing exact generated names.
+    job_name: str | None = None  # set by the master before dispatch
+
+    def should_fail(self, attempt: TaskAttemptId) -> bool:
+        if attempt.task.kind is not self.kind:
+            return False
+        if attempt.task.index != self.task_index:
+            return False
+        if attempt.attempt != self.failing_attempt:
+            return False
+        name = self.job_name or ""
+        if self.job_substring not in name:
+            return False
+        with self._lock:
+            tag = str(attempt)
+            if tag in self._fired:
+                return False
+            self._fired.add(tag)
+        return True
+
+
+@dataclass
+class FailAlways(FaultPolicy):
+    """Fail every attempt of one task — drives the job to permanent failure,
+    exercising the max-attempts path."""
+
+    kind: TaskKind
+    task_index: int
+    job_name: str | None = None
+
+    def should_fail(self, attempt: TaskAttemptId) -> bool:
+        return attempt.task.kind is self.kind and attempt.task.index == self.task_index
+
+
+@dataclass
+class FailRandomly(FaultPolicy):
+    """Fail each attempt independently with probability ``rate`` (seeded)."""
+
+    rate: float
+    seed: int = 0
+    job_name: str | None = None
+    _rng: random.Random = field(init=False, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def should_fail(self, attempt: TaskAttemptId) -> bool:
+        with self._lock:
+            return self._rng.random() < self.rate

@@ -1,0 +1,294 @@
+"""Job configuration and the user-facing Mapper/Reducer programming model.
+
+The programming model mirrors Hadoop's:
+
+* a :class:`Mapper` consumes one :class:`~repro.mapreduce.types.InputSplit`
+  and emits ``(key, value)`` pairs through its context;
+* emitted pairs are hash-partitioned, sorted, optionally combined, and fed to
+  a :class:`Reducer` as ``(key, [values...])`` groups;
+* both sides may also perform side-effect I/O against the DFS through the
+  context — the paper's jobs write their real output (matrix blocks) straight
+  to HDFS and emit only small control pairs (Section 5.1, Figure 5).
+
+Per-task resource usage (flops, bytes) is recorded on the context's
+:class:`~repro.mapreduce.types.TaskTrace` so runs can be replayed on the
+simulated cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..dfs import formats
+from ..dfs.filesystem import DFS
+from .counters import (
+    BYTES_READ,
+    BYTES_WRITTEN,
+    FILESYSTEM_GROUP,
+    Counters,
+)
+from .types import InputSplit, TaskAttemptId, TaskTrace
+
+
+def default_partitioner(key: Any, num_partitions: int) -> int:
+    """Hash partitioner; stable across processes (no PYTHONHASHSEED effects
+    for the common key types used by the pipeline)."""
+    if isinstance(key, (int, np.integer)):
+        h = int(key)
+    elif isinstance(key, str):
+        h = sum((i + 1) * b for i, b in enumerate(key.encode("utf-8")))
+    else:
+        h = hash(key)
+    return h % num_partitions
+
+
+class TaskContext:
+    """Execution context handed to mapper/reducer code.
+
+    Wraps the shared DFS with per-task byte accounting and carries the emit
+    buffer, counters, and the job's parameter dictionary.
+    """
+
+    def __init__(
+        self,
+        dfs: DFS,
+        attempt_id: TaskAttemptId,
+        params: dict[str, Any],
+        trace: TaskTrace,
+        counters: Counters,
+    ) -> None:
+        self.dfs = dfs
+        self.attempt_id = attempt_id
+        self.params = params
+        self.trace = trace
+        self.counters = counters
+        self._emitted: list[tuple[Any, Any]] = []
+
+    # -- emit ----------------------------------------------------------------
+
+    def emit(self, key: Any, value: Any) -> None:
+        self._emitted.append((key, value))
+
+    @property
+    def emitted(self) -> list[tuple[Any, Any]]:
+        return self._emitted
+
+    # -- counters ------------------------------------------------------------
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        self.counters.increment(group, name, amount)
+
+    def report_flops(self, flops: float) -> None:
+        """Declare floating-point work done outside the I/O helpers."""
+        self.trace.flops += flops
+
+    # -- accounted DFS I/O ----------------------------------------------------
+
+    def _account_read(self, nbytes: int) -> None:
+        self.trace.bytes_read += nbytes
+        self.counters.increment(FILESYSTEM_GROUP, BYTES_READ, nbytes)
+
+    def _account_write(self, nbytes: int) -> None:
+        self.trace.bytes_written += nbytes
+        self.counters.increment(FILESYSTEM_GROUP, BYTES_WRITTEN, nbytes)
+
+    def read_bytes(self, path: str) -> bytes:
+        data = self.dfs.read_bytes(path)
+        self._account_read(len(data))
+        return data
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        self.dfs.write_bytes(path, data)
+        self._account_write(len(data))
+
+    def read_text(self, path: str) -> str:
+        data = self.read_bytes(path)
+        return data.decode("utf-8")
+
+    def write_text(self, path: str, text: str) -> None:
+        self.write_bytes(path, text.encode("utf-8"))
+
+    def read_bytes_range(self, path: str, offset: int, length: int) -> bytes:
+        data = self.dfs.read_range(path, offset, length)
+        self._account_read(len(data))
+        return data
+
+    def read_matrix(self, path: str) -> np.ndarray:
+        m = formats.decode_matrix(self.read_bytes(path))
+        return m
+
+    def write_matrix(self, path: str, matrix: np.ndarray) -> None:
+        self.write_bytes(path, formats.encode_matrix(matrix))
+
+    def read_rows(self, path: str, r1: int, r2: int) -> np.ndarray:
+        m = formats.read_rows(self.dfs, path, r1, r2)
+        self._account_read(m.nbytes)
+        return m
+
+    def list_dir(self, path: str) -> list[str]:
+        return self.dfs.list_dir(path)
+
+    def exists(self, path: str) -> bool:
+        return self.dfs.exists(path)
+
+
+class Mapper:
+    """Base mapper.  Override :meth:`map`; or, for record-oriented text jobs,
+    override :meth:`map_record` and let the default :meth:`map` drive it
+    (the default honours byte-range splits — see
+    :func:`text_input_splits`)."""
+
+    def setup(self, ctx: TaskContext) -> None:  # noqa: B027 - intentional hook
+        pass
+
+    def map(self, ctx: TaskContext, split: InputSplit) -> None:
+        if split.path is None:
+            raise NotImplementedError(
+                "override map(), or give the split a text-file path for "
+                "record-oriented mapping"
+            )
+        if isinstance(split.payload, tuple) and len(split.payload) == 2:
+            start, length = split.payload
+            text = ctx.read_bytes_range(split.path, start, length).decode("utf-8")
+        else:
+            text = ctx.read_text(split.path)
+        for offset, line in enumerate(text.splitlines()):
+            from .counters import MAP_INPUT_RECORDS, TASK_GROUP
+
+            ctx.increment(TASK_GROUP, MAP_INPUT_RECORDS)
+            self.map_record(ctx, offset, line)
+
+    def map_record(self, ctx: TaskContext, key: Any, value: str) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, ctx: TaskContext) -> None:  # noqa: B027
+        pass
+
+
+class Reducer:
+    """Base reducer.  Override :meth:`reduce`, called once per key group."""
+
+    def setup(self, ctx: TaskContext) -> None:  # noqa: B027
+        pass
+
+    def reduce(self, ctx: TaskContext, key: Any, values: Iterable[Any]) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, ctx: TaskContext) -> None:  # noqa: B027
+        pass
+
+
+@dataclass
+class JobConf:
+    """Everything needed to run one MapReduce job.
+
+    ``mapper_factory``/``reducer_factory`` are zero-argument callables so each
+    task attempt gets a fresh, state-free instance (Hadoop instantiates per
+    task the same way).  ``params`` is the equivalent of Hadoop's job
+    configuration key/value payload, available on every context.
+    """
+
+    name: str
+    mapper_factory: Callable[[], Mapper]
+    splits: list[InputSplit]
+    reducer_factory: Callable[[], Reducer] | None = None
+    combiner_factory: Callable[[], Reducer] | None = None
+    num_reduce_tasks: int = 1
+    partitioner: Callable[[Any, int], int] = default_partitioner
+    sort_keys: bool = True
+    #: Secondary sort (Hadoop's grouping comparator): when set, pairs are
+    #: *sorted* by their full key but *grouped* by ``grouping_fn(key)``, so a
+    #: reducer sees one group per natural key with values arriving in
+    #: composite-key order.  The reducer receives the first composite key of
+    #: the group.  Route with a partitioner on the natural key so a group
+    #: never splits across reducers.
+    grouping_fn: Callable[[Any], Any] | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.splits:
+            raise ValueError(f"job {self.name!r} has no input splits")
+        if self.reducer_factory is None:
+            self.num_reduce_tasks = 0
+        elif self.num_reduce_tasks < 1:
+            raise ValueError("num_reduce_tasks must be >= 1 when a reducer is set")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    @property
+    def is_map_only(self) -> bool:
+        return self.reducer_factory is None
+
+
+def text_input_splits(
+    dfs: DFS, path: str, target_split_bytes: int
+) -> list[InputSplit]:
+    """Line-aligned byte-range splits of one text file — what Hadoop's
+    TextInputFormat computes from block boundaries.
+
+    Each split's payload is ``(start, length)``; the default
+    :meth:`Mapper.map` reads exactly that range, so a large file fans out
+    over several mappers without any mapper scanning the whole file.
+    Boundaries are moved forward to the next newline so no record is split
+    or duplicated.
+    """
+    if target_split_bytes < 1:
+        raise ValueError("target_split_bytes must be >= 1")
+    size = dfs.file_size(path)
+    if size == 0:
+        return [InputSplit(index=0, path=path, payload=(0, 0))]
+    splits: list[InputSplit] = []
+    start = 0
+    index = 0
+    while start < size:
+        end = min(start + target_split_bytes, size)
+        if end < size:
+            # Advance to the next newline so the boundary is line-aligned.
+            probe_at = end
+            while probe_at < size:
+                probe = dfs.read_range(path, probe_at, 1024)
+                nl = probe.find(b"\n")
+                if nl >= 0:
+                    end = probe_at + nl + 1
+                    break
+                probe_at += len(probe)
+            else:
+                end = size
+        splits.append(
+            InputSplit(index=index, path=path, payload=(start, end - start), length=end - start)
+        )
+        start = end
+        index += 1
+    return splits
+
+
+def splits_for_workers(num_workers: int) -> list[InputSplit]:
+    """The paper's control-file inputs: split *i* carries integer *i*
+    (Section 5.1), telling mapper *i* which role to play."""
+    if num_workers < 1:
+        raise ValueError("need at least one worker split")
+    return [InputSplit(index=i, payload=i) for i in range(num_workers)]
+
+
+class FnMapper(Mapper):
+    """Adapter turning a plain function ``fn(ctx, split)`` into a Mapper."""
+
+    def __init__(self, fn: Callable[[TaskContext, InputSplit], None]) -> None:
+        self._fn = fn
+
+    def map(self, ctx: TaskContext, split: InputSplit) -> None:
+        self._fn(ctx, split)
+
+
+class FnReducer(Reducer):
+    """Adapter turning a plain function ``fn(ctx, key, values)`` into a Reducer."""
+
+    def __init__(self, fn: Callable[[TaskContext, Any, Iterator[Any]], None]) -> None:
+        self._fn = fn
+
+    def reduce(self, ctx: TaskContext, key: Any, values: Iterable[Any]) -> None:
+        self._fn(ctx, key, values)

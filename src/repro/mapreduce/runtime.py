@@ -1,0 +1,92 @@
+"""The MapReduce runtime facade.
+
+One :class:`MapReduceRuntime` plays the role of a Hadoop cluster: it owns the
+DFS, the worker pool, the job counter, and the *job launch overhead* — the
+constant per-job cost that drives the paper's choice of the bound value ``nb``
+(Section 5: "the time to LU decompose a matrix of order nb on the master node
+[should be] approximately equal to the constant time required to launch a
+MapReduce job") and the deviation from ideal scaling in Figure 6.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from ..dfs.filesystem import DFS
+from .faults import FaultPolicy
+from .job import JobConf
+from .master import JobFailedError, JobTracker
+from .types import JobId, JobResult
+from .worker import make_executor
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of a simulated Hadoop deployment."""
+
+    num_workers: int = 4
+    executor: str = "serial"  # "serial" | "threads"
+    job_launch_overhead: float = 1.0  # simulated seconds per job (Section 5)
+    speculative: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.job_launch_overhead < 0:
+            raise ValueError("job_launch_overhead must be >= 0")
+
+
+class MapReduceRuntime:
+    """Runs jobs and keeps their results for replay on the simulated cluster."""
+
+    def __init__(
+        self,
+        dfs: DFS | None = None,
+        config: RuntimeConfig | None = None,
+        fault_policy: FaultPolicy | None = None,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        self.dfs = dfs if dfs is not None else DFS()
+        self._executor = make_executor(self.config.executor, self.config.num_workers)
+        self._tracker = JobTracker(
+            self.dfs,
+            self._executor,
+            fault_policy=fault_policy,
+            speculative=self.config.speculative,
+        )
+        self._job_ids = itertools.count(1)
+        self.history: list[JobResult] = []
+
+    @property
+    def num_workers(self) -> int:
+        return self.config.num_workers
+
+    def run_job(self, conf: JobConf) -> JobResult:
+        """Run one job to completion; raises JobFailedError on permanent failure."""
+        job_id = JobId(next(self._job_ids))
+        start = time.perf_counter()
+        result = self._tracker.run_job(conf, job_id)
+        result.wall_seconds = time.perf_counter() - start
+        self.history.append(result)
+        return result
+
+    def jobs_run(self) -> int:
+        return len(self.history)
+
+    def total_launch_overhead(self) -> float:
+        """Simulated seconds spent launching jobs across the whole history."""
+        return self.config.job_launch_overhead * len(self.history)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown()
+
+    def __enter__(self) -> "MapReduceRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+__all__ = ["MapReduceRuntime", "RuntimeConfig", "JobFailedError"]

@@ -1,0 +1,141 @@
+"""Shuffle phase: partition, sort, combine, and group map outputs.
+
+Implements the contract between map and reduce: every pair a mapper emits is
+routed to exactly one reduce partition by the job's partitioner; within a
+partition, pairs are sorted by key and grouped so the reducer sees each key
+once with all its values.  An optional combiner runs on each map task's local
+output before it is "sent", shrinking shuffle traffic exactly as in Hadoop.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import defaultdict
+from typing import Any, Callable
+
+from .counters import (
+    COMBINE_INPUT_RECORDS,
+    COMBINE_OUTPUT_RECORDS,
+    Counters,
+    TASK_GROUP,
+)
+from .job import JobConf, TaskContext
+from .types import TaskAttemptId, TaskTrace
+
+
+def _sort_key(key: Any) -> Any:
+    """Total order for heterogeneous keys: group by type name, natural order
+    within a type (so integer keys sort numerically, as Hadoop's typed
+    comparators do)."""
+    return (type(key).__name__, key)
+
+
+def _sorted_keys(keys: list[Any]) -> list[Any]:
+    try:
+        return sorted(keys, key=_sort_key)
+    except TypeError:
+        # Same-type but non-comparable keys: fall back to a repr order, which
+        # is still deterministic.
+        return sorted(keys, key=lambda k: (type(k).__name__, repr(k)))
+
+
+def partition_pairs(
+    pairs: list[tuple[Any, Any]],
+    partitioner: Callable[[Any, int], int],
+    num_partitions: int,
+) -> dict[int, list[tuple[Any, Any]]]:
+    """Route each pair to its reduce partition."""
+    buckets: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
+    for key, value in pairs:
+        p = partitioner(key, num_partitions)
+        if not 0 <= p < num_partitions:
+            raise ValueError(
+                f"partitioner returned {p} for key {key!r}, "
+                f"outside [0, {num_partitions})"
+            )
+        buckets[p].append((key, value))
+    return dict(buckets)
+
+def sort_and_group(
+    pairs: list[tuple[Any, Any]],
+    *,
+    sort_keys: bool = True,
+    grouping_fn: Callable[[Any], Any] | None = None,
+) -> list[tuple[Any, list[Any]]]:
+    """Group pairs by key, sorting keys when requested (Hadoop always sorts;
+    disabling the sort preserves arrival order for order-insensitive jobs).
+
+    With ``grouping_fn`` (Hadoop's grouping comparator / secondary sort),
+    pairs are sorted by their full *composite* key but grouped by
+    ``grouping_fn(key)``: the reducer sees one group per natural key, whose
+    values arrive in composite-key order, keyed by the group's first
+    composite key.
+    """
+    if grouping_fn is not None:
+        ordered = sorted(pairs, key=lambda kv: _sort_key(kv[0])) if sort_keys else pairs
+        groups: list[tuple[Any, list[Any]]] = []
+        index: dict[Any, int] = {}
+        for key, value in ordered:
+            natural = grouping_fn(key)
+            if natural not in index:
+                index[natural] = len(groups)
+                groups.append((key, []))
+            groups[index[natural]][1].append(value)
+        return groups
+    grouped: dict[Any, list[Any]] = defaultdict(list)
+    order: list[Any] = []
+    for key, value in pairs:
+        if key not in grouped:
+            order.append(key)
+        grouped[key].append(value)
+    keys = _sorted_keys(list(grouped)) if sort_keys else order
+    return [(k, grouped[k]) for k in keys]
+
+
+def run_combiner(
+    conf: JobConf,
+    pairs: list[tuple[Any, Any]],
+    ctx: TaskContext,
+) -> list[tuple[Any, Any]]:
+    """Apply the job's combiner to one map task's local output.
+
+    The combiner is run as a local reducer whose emits replace the original
+    pairs; if the job has no combiner, pairs pass through untouched.
+    """
+    if conf.combiner_factory is None or not pairs:
+        return pairs
+    combiner = conf.combiner_factory()
+    ctx.increment(TASK_GROUP, COMBINE_INPUT_RECORDS, len(pairs))
+    saved = list(ctx.emitted)
+    ctx.emitted.clear()
+    combiner.setup(ctx)
+    for key, values in sort_and_group(pairs, sort_keys=conf.sort_keys):
+        combiner.reduce(ctx, key, iter(values))
+    combiner.cleanup(ctx)
+    combined = list(ctx.emitted)
+    ctx.emitted.clear()
+    ctx.emitted.extend(saved)
+    ctx.increment(TASK_GROUP, COMBINE_OUTPUT_RECORDS, len(combined))
+    return combined
+
+
+def shuffle_size_bytes(pairs: list[tuple[Any, Any]]) -> int:
+    """Serialized size of a batch of pairs — the bytes that would cross the
+    network during shuffle (Hadoop moves serialized spill files)."""
+    if not pairs:
+        return 0
+    return len(pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def merge_map_outputs(
+    per_map_partitions: list[dict[int, list[tuple[Any, Any]]]],
+    num_partitions: int,
+) -> dict[int, list[tuple[Any, Any]]]:
+    """Merge the per-map partitioned outputs into per-reducer inputs,
+    preserving map-task order within each partition (Hadoop's merge is
+    stable per map output)."""
+    merged: dict[int, list[tuple[Any, Any]]] = {p: [] for p in range(num_partitions)}
+    for partitions in per_map_partitions:
+        for p, pairs in partitions.items():
+            merged[p].extend(pairs)
+    return merged

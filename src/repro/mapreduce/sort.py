@@ -1,0 +1,97 @@
+"""Distributed sort (TeraSort-style) — the classic MapReduce engine exercise.
+
+Demonstrates the engine features the inversion pipeline does not use: a
+*custom range partitioner* built from a sample of the input (TeraSort's
+trick: reducer *i* receives only keys in the i-th range, so concatenating the
+sorted reducer outputs yields a totally sorted dataset).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .job import JobConf, Mapper, Reducer, TaskContext
+from .runtime import MapReduceRuntime
+from .types import InputSplit
+
+
+def sample_split_points(sample: Sequence[Any], num_partitions: int) -> list[Any]:
+    """TeraSort's sampling step: from a sorted sample, pick ``p - 1`` cut
+    points that split the key space into near-equal ranges."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    ordered = sorted(sample)
+    if num_partitions == 1 or not ordered:
+        return []
+    return [
+        ordered[min(len(ordered) - 1, round(i * len(ordered) / num_partitions))]
+        for i in range(1, num_partitions)
+    ]
+
+
+class RangePartitioner:
+    """Routes a key to the partition whose range contains it."""
+
+    def __init__(self, split_points: Sequence[Any]) -> None:
+        self.split_points = list(split_points)
+
+    def __call__(self, key: Any, num_partitions: int) -> int:
+        if len(self.split_points) >= num_partitions:
+            raise ValueError(
+                f"{len(self.split_points)} split points cannot route into "
+                f"{num_partitions} partitions"
+            )
+        for i, cut in enumerate(self.split_points):
+            if key < cut:
+                return i
+        return len(self.split_points)
+
+
+class _EmitKeyMapper(Mapper):
+    def map(self, ctx: TaskContext, split: InputSplit) -> None:
+        for item in split.payload:
+            ctx.emit(item, None)
+
+
+class _SortedKeysReducer(Reducer):
+    def reduce(self, ctx: TaskContext, key: Any, values) -> None:
+        for _ in values:
+            ctx.emit(key, None)
+
+
+def distributed_sort(
+    runtime: MapReduceRuntime,
+    items: Sequence[Any],
+    *,
+    num_partitions: int = 4,
+    num_mappers: int = 4,
+    sample_size: int = 64,
+) -> list[Any]:
+    """Totally sort ``items`` with a sampled range partitioner.
+
+    Reducer *i* sees only keys in range *i* and the engine sorts within each
+    partition, so concatenating partitions 0..p-1 is the global order.
+    """
+    items = list(items)
+    if not items:
+        return []
+    stride = max(len(items) // sample_size, 1)
+    splits_pts = sample_split_points(items[::stride], num_partitions)
+    partitioner = RangePartitioner(splits_pts)
+    chunks = [
+        items[round(i * len(items) / num_mappers) : round((i + 1) * len(items) / num_mappers)]
+        for i in range(num_mappers)
+    ]
+    conf = JobConf(
+        name="distributed-sort",
+        mapper_factory=_EmitKeyMapper,
+        reducer_factory=_SortedKeysReducer,
+        splits=[InputSplit(index=i, payload=c) for i, c in enumerate(chunks)],
+        num_reduce_tasks=num_partitions,
+        partitioner=partitioner,
+    )
+    result = runtime.run_job(conf)
+    out: list[Any] = []
+    for p in range(num_partitions):
+        out.extend(k for k, _ in result.reduce_outputs.get(p, []))
+    return out

@@ -1,0 +1,68 @@
+"""Worker-pool backends that execute task attempts.
+
+Two backends:
+
+* :class:`SerialExecutor` — runs attempts inline, deterministic ordering;
+  the default for tests and reproducible experiment runs.
+* :class:`ThreadPoolBackend` — a real concurrent pool.  NumPy's BLAS kernels
+  release the GIL, so the dense-block work that dominates every task runs in
+  true parallel.  Process pools are deliberately not offered: the DFS is an
+  in-process object shared by reference, and shipping it across process
+  boundaries would silently change the I/O accounting the experiments rely on.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Callable, Iterable, Sequence
+
+
+class SerialExecutor:
+    """Run callables inline, in submission order."""
+
+    max_workers = 1
+
+    def run_all(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run every thunk; returns results or raised exceptions, positionally."""
+        results: list[Any] = []
+        for thunk in thunks:
+            try:
+                results.append(thunk())
+            except Exception as exc:  # collected, not raised: master decides
+                results.append(exc)
+        return results
+
+    def shutdown(self) -> None:  # noqa: B027 - interface symmetry
+        pass
+
+
+class ThreadPoolBackend:
+    """Run callables on a shared thread pool."""
+
+    def __init__(self, max_workers: int = 8) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=max_workers)
+
+    def run_all(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        futures = [self._pool.submit(t) for t in thunks]
+        results: list[Any] = []
+        for fut in futures:
+            try:
+                results.append(fut.result())
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(kind: str, max_workers: int = 8) -> SerialExecutor | ThreadPoolBackend:
+    """Factory keyed by name: ``"serial"`` or ``"threads"``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "threads":
+        return ThreadPoolBackend(max_workers=max_workers)
+    raise ValueError(f"unknown executor kind {kind!r} (use 'serial' or 'threads')")

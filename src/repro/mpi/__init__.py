@@ -1,0 +1,29 @@
+"""MPI substrate: threaded SPMD communicators with traffic accounting and
+ScaLAPACK-style block-cyclic distribution arithmetic."""
+
+from .comm import Comm, DeadlockError, MPIError, TrafficStats, World, payload_bytes
+from .grid import (
+    ProcessGrid,
+    collect_columns,
+    cyclic_owner,
+    distribute_columns,
+    local_count,
+    local_index,
+    owned_indices,
+)
+
+__all__ = [
+    "Comm",
+    "DeadlockError",
+    "MPIError",
+    "ProcessGrid",
+    "TrafficStats",
+    "World",
+    "collect_columns",
+    "cyclic_owner",
+    "distribute_columns",
+    "local_count",
+    "local_index",
+    "owned_indices",
+    "payload_bytes",
+]

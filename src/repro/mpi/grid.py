@@ -1,0 +1,105 @@
+"""Process grids and block-cyclic index maps (ScaLAPACK's data layout).
+
+Section 7.5 configures ScaLAPACK with an ``f1 x f2`` process grid and
+128 x 128 blocks assigned cyclically — the classic 2D block-cyclic layout.
+This module provides the index arithmetic for 1D and 2D block-cyclic
+distributions plus the grid <-> rank mapping, all pure functions so both the
+baseline implementation and its tests share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def cyclic_owner(global_index: int, block: int, nprocs: int) -> int:
+    """Which process owns global index ``g`` under block-cyclic distribution."""
+    return (global_index // block) % nprocs
+
+
+def local_index(global_index: int, block: int, nprocs: int) -> int:
+    """Position of global index ``g`` within its owner's local storage."""
+    return (global_index // (block * nprocs)) * block + global_index % block
+
+
+def owned_indices(proc: int, n: int, block: int, nprocs: int) -> np.ndarray:
+    """All global indices in ``[0, n)`` owned by ``proc``, ascending."""
+    if not 0 <= proc < nprocs:
+        raise ValueError(f"proc {proc} outside [0, {nprocs})")
+    out = []
+    start = proc * block
+    stride = block * nprocs
+    while start < n:
+        out.extend(range(start, min(start + block, n)))
+        start += stride
+    return np.asarray(out, dtype=np.int64)
+
+
+def local_count(proc: int, n: int, block: int, nprocs: int) -> int:
+    """Number of global indices owned by ``proc`` (no enumeration)."""
+    full_cycles, rem = divmod(n, block * nprocs)
+    count = full_cycles * block
+    rem_start = proc * block
+    count += min(max(rem - rem_start, 0), block)
+    return count
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A 2D ``rows x cols`` process grid with row-major rank numbering."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid dimensions must be >= 1")
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside grid of {self.size}")
+        return divmod(rank, self.cols)
+
+    def rank(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"coords ({row}, {col}) outside {self.rows}x{self.cols}")
+        return row * self.cols + col
+
+    def row_members(self, row: int) -> list[int]:
+        return [self.rank(row, c) for c in range(self.cols)]
+
+    def col_members(self, col: int) -> list[int]:
+        return [self.rank(r, col) for r in range(self.rows)]
+
+    def block_owner(
+        self, i: int, j: int, block: int
+    ) -> int:
+        """Owner rank of matrix element (i, j) under 2D block-cyclic layout."""
+        return self.rank(
+            cyclic_owner(i, block, self.rows), cyclic_owner(j, block, self.cols)
+        )
+
+
+def distribute_columns(a: np.ndarray, block: int, nprocs: int) -> list[np.ndarray]:
+    """Split a matrix into per-process local column panels (1D block-cyclic)."""
+    return [
+        np.ascontiguousarray(a[:, owned_indices(p, a.shape[1], block, nprocs)])
+        for p in range(nprocs)
+    ]
+
+
+def collect_columns(
+    locals_: list[np.ndarray], n_cols: int, block: int, nprocs: int
+) -> np.ndarray:
+    """Inverse of :func:`distribute_columns`."""
+    n_rows = locals_[0].shape[0] if locals_ else 0
+    out = np.zeros((n_rows, n_cols))
+    for p, local in enumerate(locals_):
+        out[:, owned_indices(p, n_cols, block, nprocs)] = local
+    return out

@@ -1,0 +1,26 @@
+"""ScaLAPACK-style MPI baseline (Section 7.5): distributed block-cyclic LU
+(PDGETRF) and inversion (PDGETRI) with measured communication traffic."""
+
+from .driver import (
+    ScaLAPACKFactors,
+    ScaLAPACKInverter,
+    ScaLAPACKResult,
+    scalapack_invert,
+)
+from .pdgetrf import LocalLU, pdgetrf
+from .pdgetrf2d import LocalLU2D, assemble_2d, pdgetrf_2d
+from .pdgetri import assemble_packed, pdgetri
+
+__all__ = [
+    "LocalLU",
+    "LocalLU2D",
+    "assemble_2d",
+    "pdgetrf_2d",
+    "ScaLAPACKFactors",
+    "ScaLAPACKInverter",
+    "ScaLAPACKResult",
+    "assemble_packed",
+    "pdgetrf",
+    "pdgetri",
+    "scalapack_invert",
+]

@@ -1,0 +1,206 @@
+"""ScaLAPACK-style baseline driver (the Section 7.5 competitor).
+
+Runs PDGETRF + PDGETRI over the threaded MPI world: the root scatters the
+block-cyclic column panels, every rank factors and inverts its share, and the
+root gathers the inverse.  All message traffic is measured, giving the
+empirical side of the Figure 8 comparison; the paper-scale side comes from
+the Table 1/2 cost model in ``repro.cluster.costmodel``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mpi.comm import Comm, TrafficStats, World
+from ..mpi.grid import collect_columns, distribute_columns, owned_indices
+from .pdgetrf import LocalLU, pdgetrf
+from .pdgetri import pdgetri
+
+
+@dataclass
+class ScaLAPACKResult:
+    """Outcome of one baseline inversion."""
+
+    inverse: np.ndarray
+    traffic: TrafficStats
+    nprocs: int
+    block: int
+    wall_seconds: float
+
+    def residual(self, a: np.ndarray) -> float:
+        n = a.shape[0]
+        return float(np.max(np.abs(np.eye(n) - a @ self.inverse)))
+
+
+@dataclass
+class ScaLAPACKFactors:
+    """Assembled ``P A = L U`` from the distributed factorization."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+    perm: np.ndarray
+    traffic: TrafficStats
+
+
+class ScaLAPACKInverter:
+    """Dense inversion over the MPI substrate.
+
+    Parameters mirror the paper's setup: ``nprocs`` processes and a
+    block-cyclic ``block`` width (128 in Section 7.5; smaller for scaled-down
+    runs so several cycles occur).
+    """
+
+    def __init__(
+        self,
+        nprocs: int = 4,
+        block: int = 32,
+        timeout: float = 120.0,
+        layout: str = "1d",
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if block < 1:
+            raise ValueError("block must be >= 1")
+        if layout not in ("1d", "2d"):
+            raise ValueError(f"layout must be '1d' or '2d', got {layout!r}")
+        self.nprocs = nprocs
+        self.block = block
+        self.timeout = timeout
+        self.layout = layout
+
+    def invert(self, a: np.ndarray) -> ScaLAPACKResult:
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"matrix must be square, got {a.shape}")
+        if self.layout == "2d":
+            return self._invert_2d(a)
+        n = a.shape[0]
+        world = World(self.nprocs, timeout=self.timeout)
+        start = time.perf_counter()
+
+        def spmd(comm: Comm) -> np.ndarray | None:
+            if comm.rank == 0:
+                panels = distribute_columns(a, self.block, comm.size)
+            else:
+                panels = None
+            local = comm.scatter(panels, root=0)
+            fact = pdgetrf(comm, local, n, self.block)
+            inv_local = pdgetri(comm, fact, n, self.block)
+            gathered = comm.gather(inv_local, root=0)
+            if comm.rank == 0:
+                return collect_columns(gathered, n, self.block, comm.size)
+            return None
+
+        results = world.run(spmd)
+        return ScaLAPACKResult(
+            inverse=results[0],
+            traffic=world.traffic,
+            nprocs=self.nprocs,
+            block=self.block,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    def lu(self, a: np.ndarray) -> ScaLAPACKFactors:
+        """Run only PDGETRF and assemble the factors (for validation).
+
+        With ``layout='2d'`` the factorization runs on the true
+        ``f1 x f2`` block-cyclic grid (the paper's configuration)."""
+        if self.layout == "2d":
+            return self._lu_2d(a)
+        a = np.asarray(a, dtype=np.float64)
+        n = a.shape[0]
+        world = World(self.nprocs, timeout=self.timeout)
+
+        def spmd(comm: Comm) -> LocalLU | None:
+            if comm.rank == 0:
+                panels = distribute_columns(a, self.block, comm.size)
+            else:
+                panels = None
+            local = comm.scatter(panels, root=0)
+            fact = pdgetrf(comm, local, n, self.block)
+            gathered = comm.gather((fact.owned_cols, fact.local), root=0)
+            if comm.rank == 0:
+                packed = np.zeros((n, n))
+                for cols, loc in gathered:
+                    packed[:, cols] = loc
+                return packed, fact.perm
+            return None
+
+        packed, perm = world.run(spmd)[0]
+        lower = np.tril(packed, k=-1) + np.eye(n)
+        upper = np.triu(packed)
+        return ScaLAPACKFactors(
+            lower=lower, upper=upper, perm=perm, traffic=world.traffic
+        )
+
+
+    def _invert_2d(self, a: np.ndarray) -> ScaLAPACKResult:
+        from ..linalg.blockwrap import factor_grid
+        from ..mpi.grid import ProcessGrid, owned_indices
+        from .pdgetrf2d import pdgetrf_2d
+        from .pdgetri import pdgetri_2d
+
+        n = a.shape[0]
+        f1, f2 = factor_grid(self.nprocs)
+        grid = ProcessGrid(f1, f2)
+        world = World(self.nprocs, timeout=self.timeout)
+        start = time.perf_counter()
+
+        def spmd(comm: Comm) -> np.ndarray | None:
+            pr, pc = grid.coords(comm.rank)
+            rows = owned_indices(pr, n, self.block, f1)
+            cols = owned_indices(pc, n, self.block, f2)
+            fact = pdgetrf_2d(comm, a[np.ix_(rows, cols)], n, self.block, grid)
+            inv_local = pdgetri_2d(comm, fact, n, self.block)
+            gathered = comm.gather(inv_local, root=0)
+            if comm.rank == 0:
+                return collect_columns(gathered, n, self.block, comm.size)
+            return None
+
+        results = world.run(spmd)
+        return ScaLAPACKResult(
+            inverse=results[0],
+            traffic=world.traffic,
+            nprocs=self.nprocs,
+            block=self.block,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    def _lu_2d(self, a: np.ndarray) -> ScaLAPACKFactors:
+        from ..linalg.blockwrap import factor_grid
+        from ..mpi.grid import ProcessGrid, owned_indices
+        from .pdgetrf2d import assemble_2d, pdgetrf_2d
+
+        a = np.asarray(a, dtype=np.float64)
+        n = a.shape[0]
+        f1, f2 = factor_grid(self.nprocs)
+        grid = ProcessGrid(f1, f2)
+        world = World(self.nprocs, timeout=self.timeout)
+
+        def spmd(comm: Comm):
+            pr, pc = grid.coords(comm.rank)
+            rows = owned_indices(pr, n, self.block, f1)
+            cols = owned_indices(pc, n, self.block, f2)
+            # In real ScaLAPACK the data starts distributed; the driver hands
+            # each rank its share directly (ingestion traffic is accounted in
+            # the 1D path; the 2D path measures the factorization's own
+            # communication).
+            return pdgetrf_2d(comm, a[np.ix_(rows, cols)], n, self.block, grid)
+
+        results = world.run(spmd)
+        packed, perm = assemble_2d(results, n)
+        lower = np.tril(packed, k=-1) + np.eye(n)
+        upper = np.triu(packed)
+        return ScaLAPACKFactors(
+            lower=lower, upper=upper, perm=perm, traffic=world.traffic
+        )
+
+
+def scalapack_invert(
+    a: np.ndarray, nprocs: int = 4, block: int = 32
+) -> ScaLAPACKResult:
+    """One-call convenience wrapper."""
+    return ScaLAPACKInverter(nprocs=nprocs, block=block).invert(a)

@@ -1,0 +1,247 @@
+"""PDGETRF on a true 2D block-cyclic process grid — ScaLAPACK's actual data
+layout (Section 7.5 runs an ``f1 x f2`` grid with 128-wide blocks).
+
+Element ``(i, j)`` lives on grid rank ``(i-block-cycle mod f1,
+j-block-cycle mod f2)``.  The factorization is right-looking with full
+partial pivoting, and every communication pattern of the real routine is
+present and measured:
+
+* per-column pivot search: candidates gathered within the owning process
+  *column*, winner broadcast to the whole grid;
+* row swaps: segment exchanges between the two owning process rows, in
+  every process column;
+* panel broadcast along process rows; U block-row broadcast down process
+  columns; local GEMM trailing updates.
+
+The earlier 1D variant (``pdgetrf``) remains as the simpler reference; this
+module exists to validate that the measured traffic and synchronization
+structure of the baseline match the real grid layout the paper used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg.lu import SingularMatrixError
+from ..mpi.comm import Comm
+from ..mpi.grid import ProcessGrid, cyclic_owner, owned_indices
+
+
+@dataclass
+class LocalLU2D:
+    """One rank's share of the 2D factorization."""
+
+    local: np.ndarray  # packed LU restricted to (my_rows x my_cols)
+    my_rows: np.ndarray
+    my_cols: np.ndarray
+    perm: np.ndarray  # full pivot array S (replicated on every rank)
+
+
+class _GridRank:
+    """Per-rank helper bundling index arithmetic for one factorization."""
+
+    def __init__(self, comm: Comm, grid: ProcessGrid, n: int, block: int) -> None:
+        self.comm = comm
+        self.grid = grid
+        self.n = n
+        self.block = block
+        self.prow, self.pcol = grid.coords(comm.rank)
+        self.my_rows = owned_indices(self.prow, n, block, grid.rows)
+        self.my_cols = owned_indices(self.pcol, n, block, grid.cols)
+        self.row_pos = {int(g): i for i, g in enumerate(self.my_rows)}
+        self.col_pos = {int(g): i for i, g in enumerate(self.my_cols)}
+
+    def row_owner(self, g: int) -> int:
+        return cyclic_owner(g, self.block, self.grid.rows)
+
+    def col_owner(self, g: int) -> int:
+        return cyclic_owner(g, self.block, self.grid.cols)
+
+    def cols_at_or_after(self, g: int) -> np.ndarray:
+        """Local indices of owned columns with global index >= g."""
+        return np.flatnonzero(self.my_cols >= g)
+
+    def rows_after(self, g: int) -> np.ndarray:
+        """Local indices of owned rows with global index > g."""
+        return np.flatnonzero(self.my_rows > g)
+
+
+def _swap_rows(ctx: _GridRank, local: np.ndarray, r1: int, r2: int, tag: int) -> None:
+    """Exchange global rows r1 and r2 across the grid (this rank's part)."""
+    if r1 == r2:
+        return
+    o1, o2 = ctx.row_owner(r1), ctx.row_owner(r2)
+    if ctx.prow not in (o1, o2):
+        return
+    if o1 == o2:
+        i1, i2 = ctx.row_pos[r1], ctx.row_pos[r2]
+        local[[i1, i2], :] = local[[i2, i1], :]
+        return
+    mine, other_row, other_prow = (
+        (r1, r2, o2) if ctx.prow == o1 else (r2, r1, o1)
+    )
+    partner = ctx.grid.rank(other_prow, ctx.pcol)
+    idx = ctx.row_pos[mine]
+    ctx.comm.send(local[idx].copy(), partner, tag)
+    local[idx] = ctx.comm.recv(partner, tag)
+
+
+def pdgetrf_2d(
+    comm: Comm, local: np.ndarray, n: int, block: int, grid: ProcessGrid
+) -> LocalLU2D:
+    """Factor the 2D-distributed matrix in place: ``P A = L U``."""
+    if grid.size != comm.size:
+        raise ValueError(f"grid {grid.rows}x{grid.cols} != world size {comm.size}")
+    ctx = _GridRank(comm, grid, n, block)
+    if local.shape != (ctx.my_rows.size, ctx.my_cols.size):
+        raise ValueError(
+            f"rank {comm.rank}: local shape {local.shape} != "
+            f"({ctx.my_rows.size}, {ctx.my_cols.size})"
+        )
+    local = local.astype(np.float64, copy=True)
+    swaps: list[tuple[int, int]] = []
+    num_panels = -(-n // block)
+
+    for p in range(num_panels):
+        k0 = p * block
+        w = min(block, n - k0)
+        pc = ctx.col_owner(k0)  # process column owning the whole panel
+        in_pc = ctx.pcol == pc
+        panel_cols = (
+            np.array([ctx.col_pos[k0 + jj] for jj in range(w)]) if in_pc else None
+        )
+
+        # ---- panel factorization (process column pc + global swaps) -------
+        for jj in range(w):
+            j = k0 + jj
+            tag = 10_000 + 20 * (p * block + jj)
+            # Pivot search: candidates from every rank in column pc.
+            if in_pc:
+                rows = ctx.rows_after(j - 1)  # global rows >= j
+                if rows.size:
+                    vals = np.abs(local[rows, panel_cols[jj]])
+                    best = int(np.argmax(vals))
+                    cand = (float(vals[best]), int(ctx.my_rows[rows[best]]))
+                else:
+                    cand = (-1.0, -1)
+                root = ctx.grid.rank(0, pc)
+                gathered = _gather_among(
+                    comm, ctx.grid.col_members(pc), cand, root, tag
+                )
+                if comm.rank == root:
+                    val, piv = max(gathered)
+                    if val <= 0.0:
+                        piv = -1
+                else:
+                    piv = None
+            else:
+                root = ctx.grid.rank(0, pc)
+                piv = None
+            piv = comm.bcast(piv, root=root, tag=tag + 1)
+            if piv < 0:
+                raise SingularMatrixError(f"zero pivot column at step {j}")
+            swaps.append((j, piv))
+            _swap_rows(ctx, local, j, piv, tag + 2)
+
+            # Scale multipliers and update the rest of the panel (column pc).
+            if in_pc:
+                prow_j = ctx.row_owner(j)
+                src = ctx.grid.rank(prow_j, pc)
+                if comm.rank == src:
+                    li = ctx.row_pos[j]
+                    pivot_val = local[li, panel_cols[jj]]
+                    row_seg = local[li, panel_cols[jj + 1 :]].copy()
+                    payload = (pivot_val, row_seg)
+                else:
+                    payload = None
+                pivot_val, row_seg = _bcast_among(
+                    comm, ctx.grid.col_members(pc), payload, src, tag + 3
+                )
+                if pivot_val == 0.0:
+                    raise SingularMatrixError(f"zero pivot at step {j}")
+                below = ctx.rows_after(j)
+                if below.size:
+                    local[below, panel_cols[jj]] /= pivot_val
+                    if jj + 1 < w:
+                        local[np.ix_(below, panel_cols[jj + 1 :])] -= np.outer(
+                            local[below, panel_cols[jj]], row_seg
+                        )
+
+        # ---- broadcast the factored panel along each process row ----------
+        tag = 50_000 + 100 * p
+        if in_pc:
+            panel_seg = local[:, panel_cols].copy()
+        else:
+            panel_seg = None
+        panel_seg = _bcast_among(
+            comm,
+            ctx.grid.row_members(ctx.prow),
+            panel_seg,
+            ctx.grid.rank(ctx.prow, pc),
+            tag,
+        )
+
+        # ---- U block row: solve L11 U12 = A12 on process row pr_k ----------
+        pr_k = ctx.row_owner(k0)
+        trailing = ctx.cols_at_or_after(k0 + w)
+        if ctx.prow == pr_k:
+            pivot_rows = np.array([ctx.row_pos[k0 + jj] for jj in range(w)])
+            l11 = np.tril(panel_seg[pivot_rows], k=-1) + np.eye(w)
+            if trailing.size:
+                a12 = local[np.ix_(pivot_rows, trailing)]
+                u12 = np.linalg.solve(l11, a12)
+                local[np.ix_(pivot_rows, trailing)] = u12
+            else:
+                u12 = np.zeros((w, 0))
+        else:
+            u12 = None
+        u12 = _bcast_among(
+            comm,
+            ctx.grid.col_members(ctx.pcol),
+            u12,
+            ctx.grid.rank(pr_k, ctx.pcol),
+            tag + 1,
+        )
+
+        # ---- trailing GEMM update -----------------------------------------
+        below = ctx.rows_after(k0 + w - 1)
+        if below.size and trailing.size:
+            l21 = panel_seg[below]
+            local[np.ix_(below, trailing)] -= l21 @ u12
+
+    perm = np.arange(n, dtype=np.int64)
+    for r1, r2 in swaps:
+        perm[[r1, r2]] = perm[[r2, r1]]
+    return LocalLU2D(local=local, my_rows=ctx.my_rows, my_cols=ctx.my_cols, perm=perm)
+
+
+def _gather_among(comm: Comm, members: list[int], value, root: int, tag: int):
+    """Gather ``value`` from ``members`` (a sub-communicator) to ``root``."""
+    if comm.rank == root:
+        out = []
+        for m in members:
+            out.append(value if m == root else comm.recv(m, tag))
+        return out
+    comm.send(value, root, tag)
+    return None
+
+
+def _bcast_among(comm: Comm, members: list[int], value, root: int, tag: int):
+    """Broadcast ``value`` from ``root`` to ``members`` (linear fan-out —
+    within a grid row/column the member count is f1 or f2, i.e. small)."""
+    if comm.rank == root:
+        for m in members:
+            if m != root:
+                comm.send(value, m, tag)
+        return value
+    return comm.recv(root, tag)
+
+
+def assemble_2d(results: list[LocalLU2D], n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Compose the full packed LU (and perm) from every rank's share."""
+    packed = np.zeros((n, n))
+    for res in results:
+        packed[np.ix_(res.my_rows, res.my_cols)] = res.local
+    return packed, results[0].perm

@@ -1,0 +1,34 @@
+"""Spark-style in-memory dataflow engine and the inversion port — the
+paper's Section 8 future work, implemented: RDDs with lineage-based fault
+tolerance, caching, shuffles, broadcasts, and Algorithm 2 running on them
+with intermediates kept in memory instead of HDFS."""
+
+from .context import Broadcast, SparkContext, SparkMetrics
+from .inversion import (
+    SparkInversionConfig,
+    SparkInversionResult,
+    SparkMatrixInverter,
+    spark_invert,
+)
+from .rdd import (
+    MapPartitionsRDD,
+    ParallelCollectionRDD,
+    RDD,
+    ShuffledRDD,
+    UnionRDD,
+)
+
+__all__ = [
+    "Broadcast",
+    "MapPartitionsRDD",
+    "ParallelCollectionRDD",
+    "RDD",
+    "ShuffledRDD",
+    "SparkContext",
+    "SparkInversionConfig",
+    "SparkInversionResult",
+    "SparkMatrixInverter",
+    "SparkMetrics",
+    "UnionRDD",
+    "spark_invert",
+]

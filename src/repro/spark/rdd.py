@@ -1,0 +1,308 @@
+"""Resilient distributed datasets — the Section 8 future-work substrate.
+
+The paper's conclusion: "Spark provides parallel data structures that allow
+users to explicitly keep data in memory with fault tolerance ... implementing
+our algorithm in Spark would improve performance by reducing read I/O."
+This module implements the RDD model from the Zaharia et al. NSDI'12 paper
+the authors cite [34], scoped to what the inversion port needs:
+
+* immutable, partitioned datasets with **lineage**: every RDD knows how to
+  compute any of its partitions from its parents, so a lost cached partition
+  is *recomputed*, not replicated;
+* **narrow** transformations (map, filter, mapPartitions) that stay within a
+  partition, and **wide** ones (groupByKey, reduceByKey) that shuffle;
+* **actions** (collect, count, reduce) that materialize results on the
+  driver;
+* explicit **caching** — the in-memory reuse that replaces the Hadoop
+  pipeline's HDFS round-trips.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SparkContext
+
+
+class RDD:
+    """Base class: a lineage node with ``num_partitions`` partitions."""
+
+    def __init__(self, ctx: "SparkContext", num_partitions: int, parents: tuple["RDD", ...]) -> None:
+        if num_partitions < 1:
+            raise ValueError("an RDD needs at least one partition")
+        self.ctx = ctx
+        self.num_partitions = num_partitions
+        self.parents = parents
+        self.rdd_id = ctx._register(self)
+        self._cached = False
+
+    # -- lineage ----------------------------------------------------------------
+
+    def compute_partition(self, index: int) -> list[Any]:
+        """Produce partition ``index`` from the parents (subclasses define)."""
+        raise NotImplementedError
+
+    def partition(self, index: int) -> list[Any]:
+        """Fetch partition ``index``, through the cache when enabled."""
+        if not 0 <= index < self.num_partitions:
+            raise IndexError(f"partition {index} outside [0, {self.num_partitions})")
+        return self.ctx._materialize(self, index)
+
+    # -- persistence --------------------------------------------------------------
+
+    def cache(self) -> "RDD":
+        """Keep computed partitions in executor memory (lineage still covers
+        loss — see SparkContext.evict)."""
+        self._cached = True
+        return self
+
+    @property
+    def is_cached(self) -> bool:
+        return self._cached
+
+    # -- narrow transformations ------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return MapPartitionsRDD(self, lambda part: [fn(x) for x in part])
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return MapPartitionsRDD(
+            self, lambda part: [y for x in part for y in fn(x)]
+        )
+
+    def filter(self, pred: Callable[[Any], bool]) -> "RDD":
+        return MapPartitionsRDD(self, lambda part: [x for x in part if pred(x)])
+
+    def map_partitions(self, fn: Callable[[list[Any]], Iterable[Any]]) -> "RDD":
+        return MapPartitionsRDD(self, lambda part: list(fn(part)))
+
+    def key_by(self, fn: Callable[[Any], Any]) -> "RDD":
+        return self.map(lambda x: (fn(x), x))
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Transform only the value of (k, v) pairs (partitioning-preserving)."""
+        return self.map(lambda kv: (kv[0], fn(kv[1])))
+
+    def union(self, other: "RDD") -> "RDD":
+        return UnionRDD(self, other)
+
+    def distinct(self, num_partitions: int | None = None) -> "RDD":
+        """Deduplicate via a shuffle (Spark's distinct)."""
+        return (
+            self.map(lambda x: (x, None))
+            .group_by_key(num_partitions)
+            .map(lambda kv: kv[0])
+        )
+
+    # -- wide transformations ----------------------------------------------------------
+
+    def group_by_key(self, num_partitions: int | None = None) -> "RDD":
+        """Shuffle ``(k, v)`` pairs into ``(k, [v...])`` groups."""
+        return ShuffledRDD(
+            self,
+            num_partitions or self.num_partitions,
+            combiner=None,
+        )
+
+    def reduce_by_key(
+        self, fn: Callable[[Any, Any], Any], num_partitions: int | None = None
+    ) -> "RDD":
+        """Shuffle with map-side combining (Spark's reduceByKey)."""
+        return ShuffledRDD(
+            self,
+            num_partitions or self.num_partitions,
+            combiner=fn,
+        )
+
+    def join(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Inner join of two (k, v) RDDs -> (k, (v_self, v_other))."""
+        tagged = self.map(lambda kv: (kv[0], (0, kv[1]))).union(
+            other.map(lambda kv: (kv[0], (1, kv[1])))
+        )
+        grouped = tagged.group_by_key(num_partitions)
+
+        def emit(pairs: list[Any]) -> Iterable[Any]:
+            for key, values in pairs:
+                left = [v for tag, v in values if tag == 0]
+                right = [v for tag, v in values if tag == 1]
+                for a in left:
+                    for b in right:
+                        yield (key, (a, b))
+
+        return grouped.map_partitions(emit)
+
+    # -- actions --------------------------------------------------------------------
+
+    def collect(self) -> list[Any]:
+        parts = self.ctx._run_job(self, range(self.num_partitions))
+        return list(itertools.chain.from_iterable(parts))
+
+    def count(self) -> int:
+        return len(self.collect())
+
+    def take(self, n: int) -> list[Any]:
+        out: list[Any] = []
+        for i in range(self.num_partitions):
+            out.extend(self.partition(i))
+            if len(out) >= n:
+                break
+        return out[:n]
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        items = self.collect()
+        if not items:
+            raise ValueError("reduce of an empty RDD")
+        acc = items[0]
+        for x in items[1:]:
+            acc = fn(acc, x)
+        return acc
+
+    def collect_as_map(self) -> dict[Any, Any]:
+        return dict(self.collect())
+
+    def glom(self) -> "RDD":
+        """Each partition becomes a single list element (Spark's glom)."""
+        return MapPartitionsRDD(self, lambda part: [list(part)])
+
+    def zip_with_index(self) -> "RDD":
+        """Pair each element with its global position.  Requires one pass to
+        size the earlier partitions (as in Spark)."""
+        sizes = [len(self.partition(i)) for i in range(self.num_partitions)]
+        offsets = [0]
+        for s in sizes[:-1]:
+            offsets.append(offsets[-1] + s)
+
+        parent = self
+
+        class _Zipped(RDD):
+            def __init__(inner) -> None:
+                super().__init__(parent.ctx, parent.num_partitions, (parent,))
+
+            def compute_partition(inner, index: int) -> list[Any]:
+                base = offsets[index]
+                return [
+                    (x, base + i) for i, x in enumerate(parent.partition(index))
+                ]
+
+        return _Zipped()
+
+    def aggregate(
+        self,
+        zero: Any,
+        seq_op: Callable[[Any, Any], Any],
+        comb_op: Callable[[Any, Any], Any],
+    ) -> Any:
+        """Fold each partition with ``seq_op`` from ``zero``, then combine
+        the per-partition results with ``comb_op`` (Spark's aggregate)."""
+        import copy
+
+        partials = []
+        for i in range(self.num_partitions):
+            acc = copy.deepcopy(zero)
+            for x in self.partition(i):
+                acc = seq_op(acc, x)
+            partials.append(acc)
+        result = copy.deepcopy(zero)
+        for p in partials:
+            result = comb_op(result, p)
+        return result
+
+    def count_by_key(self) -> dict[Any, int]:
+        """Counts per key of a (k, v) RDD (action)."""
+        out: dict[Any, int] = {}
+        for k, _ in self.collect():
+            out[k] = out.get(k, 0) + 1
+        return out
+
+    def lookup(self, key: Any) -> list[Any]:
+        """All values for ``key`` in a (k, v) RDD (action)."""
+        return [v for k, v in self.collect() if k == key]
+
+    def sort_by(self, key_fn: Callable[[Any], Any], reverse: bool = False) -> list[Any]:
+        """Totally ordered collect (driver-side sort, as a small action)."""
+        return sorted(self.collect(), key=key_fn, reverse=reverse)
+
+
+class ParallelCollectionRDD(RDD):
+    """An in-memory collection split into partitions (sc.parallelize)."""
+
+    def __init__(self, ctx: "SparkContext", data: list[Any], num_partitions: int) -> None:
+        super().__init__(ctx, num_partitions, parents=())
+        self._slices: list[list[Any]] = [
+            list(data[
+                round(i * len(data) / num_partitions) : round((i + 1) * len(data) / num_partitions)
+            ])
+            for i in range(num_partitions)
+        ]
+
+    def compute_partition(self, index: int) -> list[Any]:
+        return list(self._slices[index])
+
+
+class MapPartitionsRDD(RDD):
+    """Narrow dependency: partition i depends only on parent partition i."""
+
+    def __init__(self, parent: RDD, fn: Callable[[list[Any]], list[Any]]) -> None:
+        super().__init__(parent.ctx, parent.num_partitions, parents=(parent,))
+        self._fn = fn
+
+    def compute_partition(self, index: int) -> list[Any]:
+        return self._fn(self.parents[0].partition(index))
+
+
+class UnionRDD(RDD):
+    """Concatenation: partitions of both parents, in order."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(
+            left.ctx, left.num_partitions + right.num_partitions, parents=(left, right)
+        )
+
+    def compute_partition(self, index: int) -> list[Any]:
+        left = self.parents[0]
+        if index < left.num_partitions:
+            return left.partition(index)
+        return self.parents[1].partition(index - left.num_partitions)
+
+
+class ShuffledRDD(RDD):
+    """Wide dependency: every output partition reads every parent partition.
+
+    Keys are hash-partitioned with the same stable partitioner as the
+    MapReduce engine; an optional ``combiner`` merges values map-side (the
+    reduceByKey optimization), shrinking the measured shuffle volume.
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        num_partitions: int,
+        combiner: Callable[[Any, Any], Any] | None,
+    ) -> None:
+        super().__init__(parent.ctx, num_partitions, parents=(parent,))
+        self._combiner = combiner
+
+    def compute_partition(self, index: int) -> list[Any]:
+        from ..mapreduce.job import default_partitioner
+        from ..mapreduce.shuffle import shuffle_size_bytes
+
+        grouped: dict[Any, Any] = {}
+        order: list[Any] = []
+        for p in range(self.parents[0].num_partitions):
+            incoming = [
+                (k, v)
+                for k, v in self.parents[0].partition(p)
+                if default_partitioner(k, self.num_partitions) == index
+            ]
+            self.ctx.metrics.shuffle_bytes += shuffle_size_bytes(incoming)
+            for k, v in incoming:
+                if k not in grouped:
+                    order.append(k)
+                    grouped[k] = v if self._combiner else [v]
+                elif self._combiner:
+                    grouped[k] = self._combiner(grouped[k], v)
+                else:
+                    grouped[k].append(v)
+        return [(k, grouped[k]) for k in order]

@@ -1,0 +1,19 @@
+"""SystemML-style distributed matrix operations on MapReduce (Section 3's
+related framework, which offered multiplication/division/transpose "but not
+matrix inversion" — the gap this paper fills)."""
+
+from .ops import (
+    DistributedMatrix,
+    MatrixOps,
+    load_meta,
+    read_matrix,
+    save_matrix,
+)
+
+__all__ = [
+    "DistributedMatrix",
+    "MatrixOps",
+    "load_meta",
+    "read_matrix",
+    "save_matrix",
+]

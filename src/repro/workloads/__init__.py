@@ -1,0 +1,45 @@
+"""Workload generators and the Table 3 matrix suite."""
+
+from .generators import (
+    diagonally_dominant,
+    ill_conditioned,
+    needs_cross_block_pivot,
+    orthogonal,
+    random_dense,
+    random_gaussian,
+    singular_matrix,
+    symmetric_positive_definite,
+    tridiagonal,
+)
+from .structured import (
+    banded,
+    circulant,
+    hilbert,
+    laplacian_1d,
+    toeplitz,
+    vandermonde,
+)
+from .suite import BY_NAME, PAPER_NB, TABLE3, SuiteMatrix, get
+
+__all__ = [
+    "BY_NAME",
+    "PAPER_NB",
+    "TABLE3",
+    "SuiteMatrix",
+    "banded",
+    "circulant",
+    "diagonally_dominant",
+    "hilbert",
+    "laplacian_1d",
+    "toeplitz",
+    "vandermonde",
+    "get",
+    "ill_conditioned",
+    "needs_cross_block_pivot",
+    "orthogonal",
+    "random_dense",
+    "random_gaussian",
+    "singular_matrix",
+    "symmetric_positive_definite",
+    "tridiagonal",
+]

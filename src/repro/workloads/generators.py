@@ -1,0 +1,99 @@
+"""Matrix generators for experiments and tests.
+
+Section 7.1: "all of our test matrices were randomly generated using the
+Random class in Java ... performance depends on the order of the input matrix
+and not on the data values".  :func:`random_dense` reproduces that workload;
+the other generators provide structured and adversarial inputs used by the
+correctness suite and the numerical-stability tests (the pipeline pivots only
+within diagonal blocks, so documenting where that breaks matters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_dense(n: int, seed: int | None = 0) -> np.ndarray:
+    """The paper's workload: uniform random entries in [0, 1) (Java's
+    ``Random.nextDouble`` style).  Such matrices are well-conditioned with
+    overwhelming probability."""
+    rng = np.random.default_rng(seed)
+    return rng.random((n, n))
+
+
+def random_gaussian(n: int, seed: int | None = 0) -> np.ndarray:
+    """Standard normal entries."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n))
+
+
+def symmetric_positive_definite(n: int, seed: int | None = 0) -> np.ndarray:
+    """SPD matrix (the input class of the Cholesky-based related work
+    [Bientinesi et al.] the paper contrasts itself with)."""
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((n, n))
+    return g @ g.T + n * np.eye(n)
+
+
+def diagonally_dominant(n: int, seed: int | None = 0) -> np.ndarray:
+    """Strictly row-diagonally-dominant matrix — invertible without any
+    pivoting, the friendliest case for block-local pivots."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, (n, n))
+    np.fill_diagonal(a, np.sum(np.abs(a), axis=1) + 1.0)
+    return a
+
+
+def ill_conditioned(n: int, condition: float = 1e10, seed: int | None = 0) -> np.ndarray:
+    """Matrix with prescribed 2-norm condition number (via SVD synthesis)."""
+    rng = np.random.default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    singular_values = np.geomspace(1.0, 1.0 / condition, n)
+    return (u * singular_values) @ v.T
+
+
+def singular_matrix(n: int, rank_deficiency: int = 1, seed: int | None = 0) -> np.ndarray:
+    """Exactly rank-deficient matrix (for failure-path tests)."""
+    if not 0 < rank_deficiency <= n:
+        raise ValueError("rank_deficiency must be in (0, n]")
+    rng = np.random.default_rng(seed)
+    rank = n - rank_deficiency
+    left = rng.standard_normal((n, rank))
+    right = rng.standard_normal((rank, n))
+    return left @ right
+
+
+def orthogonal(n: int, seed: int | None = 0) -> np.ndarray:
+    """Random orthogonal matrix (perfectly conditioned; inverse == transpose)."""
+    rng = np.random.default_rng(seed)
+    q, r = np.linalg.qr(rng.standard_normal((n, n)))
+    return q * np.sign(np.diag(r))
+
+
+def tridiagonal(n: int, seed: int | None = 0) -> np.ndarray:
+    """Tridiagonal system (a CT / PDE-style banded operator, Section 1's
+    image-reconstruction motivation)."""
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n))
+    main = rng.uniform(2.0, 3.0, n)
+    off = rng.uniform(-1.0, 1.0, n - 1)
+    np.fill_diagonal(a, main)
+    a[np.arange(n - 1), np.arange(1, n)] = off
+    a[np.arange(1, n), np.arange(n - 1)] = off
+    return a
+
+
+def needs_cross_block_pivot(n: int) -> np.ndarray:
+    """Adversarial input for *block-local* pivoting: the leading diagonal
+    block is singular, so correct factorization would need to pivot rows in
+    from the bottom half — which Algorithm 2's P = diag(P1, P2) cannot do.
+    Used to document the scheme's limitation."""
+    a = np.zeros((n, n))
+    half = n // 2
+    # Top-left block: zero. Off-diagonal blocks: identity-ish (full rank).
+    a[:half, half : 2 * half] = np.eye(half)
+    a[half : 2 * half, :half] = np.eye(half)
+    if 2 * half < n:
+        a[2 * half :, 2 * half :] = np.eye(n - 2 * half)
+    return a

@@ -1,0 +1,76 @@
+"""Structured matrix families — classic, reproducible test operators.
+
+These complement the random suite with deterministic matrices whose
+properties are known in closed form: Hilbert (catastrophically
+ill-conditioned), Toeplitz/circulant (stationary kernels), Vandermonde
+(interpolation), and banded operators — the kinds of inputs downstream
+users bring from physics and statistics applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hilbert(n: int) -> np.ndarray:
+    """The Hilbert matrix ``H_ij = 1 / (i + j + 1)`` — SPD and famously
+    ill-conditioned (cond ~ e^{3.5 n})."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    idx = np.arange(n)
+    return 1.0 / (idx[:, None] + idx[None, :] + 1.0)
+
+
+def toeplitz(first_column: np.ndarray, first_row: np.ndarray | None = None) -> np.ndarray:
+    """Constant-diagonal matrix from its first column (and optional row)."""
+    c = np.asarray(first_column, dtype=np.float64)
+    r = c if first_row is None else np.asarray(first_row, dtype=np.float64)
+    if r[0] != c[0]:
+        raise ValueError("first elements of column and row must agree")
+    n, m = c.size, r.size
+    out = np.empty((n, m))
+    for i in range(n):
+        for j in range(m):
+            out[i, j] = c[i - j] if i >= j else r[j - i]
+    return out
+
+
+def circulant(first_row: np.ndarray) -> np.ndarray:
+    """Each row is the previous row rotated right by one."""
+    r = np.asarray(first_row, dtype=np.float64)
+    n = r.size
+    return np.array([np.roll(r, i) for i in range(n)])
+
+
+def vandermonde(points: np.ndarray) -> np.ndarray:
+    """``V_ij = x_i^j`` — invertible iff the points are distinct."""
+    x = np.asarray(points, dtype=np.float64)
+    return np.vander(x, increasing=True)
+
+
+def banded(n: int, bandwidth: int, seed: int | None = 0) -> np.ndarray:
+    """Random banded, diagonally dominant matrix (a discretized local
+    operator with the given half-bandwidth)."""
+    if bandwidth < 0 or n < 1:
+        raise ValueError("need n >= 1 and bandwidth >= 0")
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n))
+    for k in range(-bandwidth, bandwidth + 1):
+        diag_len = n - abs(k)
+        if diag_len > 0:
+            vals = rng.uniform(-1.0, 1.0, diag_len)
+            a[np.arange(diag_len) + max(-k, 0), np.arange(diag_len) + max(k, 0)] = vals
+    np.fill_diagonal(a, np.abs(a).sum(axis=1) + 1.0)
+    return a
+
+
+def laplacian_1d(n: int) -> np.ndarray:
+    """The standard 1-D discrete Laplacian (tridiagonal [-1, 2, -1]) with
+    Dirichlet boundaries — SPD, condition ~ n^2."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    a = 2.0 * np.eye(n)
+    off = np.arange(n - 1)
+    a[off, off + 1] = -1.0
+    a[off + 1, off] = -1.0
+    return a

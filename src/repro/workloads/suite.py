@@ -1,0 +1,93 @@
+"""The Table 3 matrix suite (M1-M5) at configurable scale.
+
+The paper's five matrices range from order 16384 to 102400 with nb = 3200.
+Executing at those orders needs a datacenter; the suite therefore supports a
+linear *scale factor*: orders and nb shrink together, so ``n/nb`` — which
+alone determines the recursion depth and the pipeline's job structure — is
+preserved exactly.  ``jobs`` still reproduces Table 3's job-count column at
+any scale, and the text/binary size columns are computed for both the paper
+scale and the working scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dfs.formats import binary_size_bytes
+from ..inversion.plan import total_job_count
+from .generators import random_dense
+
+#: The paper's bound value (Section 5).
+PAPER_NB = 3200
+
+#: Bytes per element in the paper's text format (~19.5 characters/value at
+#: full double precision, observed ~20 including the separator; Table 3's
+#: text sizes imply ~19 B/element: 8 GB for 0.42e9 elements).
+TEXT_BYTES_PER_ELEMENT = 19.0
+
+
+@dataclass(frozen=True)
+class SuiteMatrix:
+    """One row of Table 3."""
+
+    name: str
+    paper_order: int
+    seed: int
+
+    def order(self, scale: int = 64) -> int:
+        """Working order at a 1/scale linear reduction."""
+        if self.paper_order % scale:
+            raise ValueError(
+                f"{self.name}: paper order {self.paper_order} not divisible by {scale}"
+            )
+        return self.paper_order // scale
+
+    def nb(self, scale: int = 64) -> int:
+        if PAPER_NB % scale:
+            raise ValueError(f"nb {PAPER_NB} not divisible by scale {scale}")
+        return PAPER_NB // scale
+
+    @property
+    def elements_billion(self) -> float:
+        """Table 3's "Elements (Billion)" column."""
+        return self.paper_order**2 / 1e9
+
+    @property
+    def text_gb(self) -> float:
+        """Table 3's "Text (GB)" column (approximate, see module docstring)."""
+        return self.paper_order**2 * TEXT_BYTES_PER_ELEMENT / 2**30
+
+    @property
+    def binary_gb(self) -> float:
+        """Table 3's "Binary (GB)" column."""
+        return binary_size_bytes(self.paper_order, self.paper_order) / 2**30
+
+    @property
+    def jobs(self) -> int:
+        """Table 3's "Number of Jobs" column (scale-invariant)."""
+        return total_job_count(self.paper_order, PAPER_NB)
+
+    def generate(self, scale: int = 64) -> np.ndarray:
+        """Materialize the matrix at working scale (paper-style random)."""
+        return random_dense(self.order(scale), seed=self.seed)
+
+
+#: Table 3's matrices.  M4 used EC2 large instances; the rest medium.
+TABLE3 = (
+    SuiteMatrix("M1", 20480, seed=101),
+    SuiteMatrix("M2", 32768, seed=102),
+    SuiteMatrix("M3", 40960, seed=103),
+    SuiteMatrix("M4", 102400, seed=104),
+    SuiteMatrix("M5", 16384, seed=105),
+)
+
+BY_NAME = {m.name: m for m in TABLE3}
+
+
+def get(name: str) -> SuiteMatrix:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown suite matrix {name!r}; have {sorted(BY_NAME)}") from None

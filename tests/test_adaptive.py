@@ -1,0 +1,73 @@
+"""Adaptive backend selection (Section 8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import adaptive_invert, choose_backend, scalapack_fits
+from repro.cluster import ClusterSpec, EC2_MEDIUM
+
+from conftest import random_invertible
+
+
+class TestDecisions:
+    def test_tiny_matrix_single_node(self):
+        d = choose_backend(1000, ClusterSpec(64))
+        assert d.backend == "single-node"
+        assert "cutoff" in d.reason
+
+    def test_midsize_small_cluster_scalapack(self):
+        """Figure 8's small-scale regime: ScaLAPACK wins."""
+        d = choose_backend(20480, ClusterSpec(8))
+        assert d.backend == "scalapack"
+
+    def test_large_matrix_large_cluster_mapreduce(self):
+        """Figure 8's high-scale regime for the biggest matrices."""
+        d = choose_backend(40960, ClusterSpec(64))
+        assert d.backend == "mapreduce"
+
+    def test_memory_gate_forces_mapreduce(self):
+        """An 80 GB matrix on an 8-node medium cluster can't fit ScaLAPACK's
+        working set -> MapReduce regardless of speed models."""
+        d = choose_backend(102400, ClusterSpec(8))
+        assert d.backend == "mapreduce"
+        assert not d.scalapack_fits_memory
+        assert "memory" in d.reason
+
+    def test_predictions_exposed(self):
+        d = choose_backend(20480, ClusterSpec(16))
+        assert set(d.predicted_seconds) == {"mapreduce", "scalapack"}
+        assert all(v > 0 for v in d.predicted_seconds.values())
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            choose_backend(0, ClusterSpec(4))
+
+    def test_scalapack_fits_boundary(self):
+        cluster = ClusterSpec(1, EC2_MEDIUM)  # 3.7 GB
+        assert scalapack_fits(10_000, cluster)  # 1.2 GB working set
+        assert not scalapack_fits(30_000, cluster)  # 10.8 GB working set
+
+
+class TestExecution:
+    def test_adaptive_runs_chosen_backend_correctly(self, rng):
+        a = random_invertible(rng, 96)
+        res = adaptive_invert(a, ClusterSpec(16))
+        assert res.decision.backend in ("mapreduce", "scalapack")
+        assert np.allclose(res.inverse @ a, np.eye(96), atol=1e-7)
+
+    def test_small_input_goes_single_node(self, rng):
+        a = random_invertible(rng, 16)
+        res = adaptive_invert(a, ClusterSpec(16))
+        assert res.decision.backend == "single-node"
+        assert np.allclose(res.inverse, np.linalg.inv(a))
+
+    def test_forced_mapreduce_via_params(self, rng):
+        """Explicit nb/m0 with a huge modeled order difference still executes
+        correctly through the pipeline when MapReduce is chosen."""
+        a = random_invertible(rng, 80)
+        res = adaptive_invert(a, ClusterSpec(64), nb=10, m0=4)
+        assert np.allclose(res.inverse @ a, np.eye(80), atol=1e-7)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            adaptive_invert(rng.standard_normal((3, 5)), ClusterSpec(4))

@@ -1,0 +1,191 @@
+"""The motivating applications built on the public API."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CTReconstructor,
+    LinearSolver,
+    empirical_covariance,
+    inverse_iteration,
+    precision_from_contacts,
+    predict_contacts,
+    projection_matrix,
+    rayleigh_quotient,
+    sample_observations,
+    shepp_logan_1d,
+    synthetic_contacts,
+)
+from repro.inversion import InversionConfig
+
+from conftest import random_invertible
+
+CFG = InversionConfig(nb=16, m0=4)
+
+
+class TestLinearSolver:
+    def test_single_rhs(self, rng):
+        a = random_invertible(rng, 40)
+        solver = LinearSolver(a, CFG)
+        x_true = rng.standard_normal(40)
+        report = solver.solve(a @ x_true)
+        assert np.allclose(report.x, x_true, atol=1e-8)
+        assert report.residual_norm < 1e-10
+
+    def test_matrix_rhs(self, rng):
+        a = random_invertible(rng, 32)
+        solver = LinearSolver(a, CFG)
+        b = rng.standard_normal((32, 3))
+        report = solver.solve(b)
+        assert np.allclose(a @ report.x, b, atol=1e-8)
+
+    def test_solve_many(self, rng):
+        a = random_invertible(rng, 24)
+        solver = LinearSolver(a, CFG)
+        bs = rng.standard_normal((24, 5))
+        reports = solver.solve_many(bs)
+        assert len(reports) == 5
+        assert all(r.residual_norm < 1e-9 for r in reports)
+
+    def test_rhs_shape_checked(self, rng):
+        solver = LinearSolver(random_invertible(rng, 16), CFG)
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(17))
+
+    def test_inverse_exposed(self, rng):
+        a = random_invertible(rng, 20)
+        solver = LinearSolver(a, CFG)
+        assert np.allclose(solver.inverse @ a, np.eye(20), atol=1e-8)
+
+
+class TestInverseIteration:
+    def test_converges_to_nearest_eigenpair(self, rng):
+        a = rng.standard_normal((32, 32))
+        sym = a + a.T
+        w, _ = np.linalg.eigh(sym)
+        mu = w[-1] + 0.5
+        res = inverse_iteration(sym, mu, config=CFG, seed=1)
+        assert res.converged
+        assert res.eigenvalue == pytest.approx(w[-1], abs=1e-7)
+        assert res.residual(sym) < 1e-6
+
+    def test_interior_eigenvalue_with_good_shift(self, rng):
+        a = np.diag(np.arange(1.0, 25.0))  # well-separated spectrum
+        res = inverse_iteration(a, mu=12.3, config=CFG, seed=2)
+        assert res.converged
+        assert res.eigenvalue == pytest.approx(12.0, abs=1e-8)
+
+    def test_rayleigh_quotient(self):
+        a = np.diag([2.0, 5.0])
+        assert rayleigh_quotient(a, np.array([1.0, 0.0])) == 2.0
+
+    def test_history_monotone_progress(self, rng):
+        a = np.diag(np.arange(1.0, 17.0))
+        res = inverse_iteration(a, mu=8.2, config=CFG, seed=3)
+        errors = [abs(h - 8.0) for h in res.history]
+        assert errors[-1] <= errors[0]
+
+    def test_zero_start_vector_rejected(self, rng):
+        a = np.eye(8)
+        with pytest.raises(ValueError):
+            inverse_iteration(a, 0.5, v0=np.zeros(8), config=CFG)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            inverse_iteration(rng.standard_normal((3, 4)), 0.1, config=CFG)
+
+
+class TestCT:
+    def test_projection_invertible(self):
+        m = projection_matrix(32, seed=1)
+        assert np.linalg.matrix_rank(m) == 32
+
+    def test_perfect_reconstruction_without_noise(self):
+        m = projection_matrix(48, seed=2)
+        ct = CTReconstructor(m, CFG)
+        image = shepp_logan_1d(48)
+        report = ct.reconstruct(ct.scan(image), image)
+        assert report.relative_error < 1e-10
+        assert report.max_abs_error < 1e-9
+
+    def test_noisy_reconstruction_degrades_gracefully(self):
+        m = projection_matrix(48, seed=2)
+        ct = CTReconstructor(m, CFG)
+        image = shepp_logan_1d(48)
+        noisy = ct.scan(image, noise=1e-6, seed=3)
+        report = ct.reconstruct(noisy, image)
+        assert 0 < report.relative_error < 1e-3
+
+    def test_phantom_has_structure(self):
+        img = shepp_logan_1d(64)
+        assert img.min() >= 0.1
+        assert img.max() > 1.0
+
+    def test_reconstruct_without_ground_truth(self):
+        m = projection_matrix(16, seed=4)
+        ct = CTReconstructor(m, CFG)
+        report = ct.reconstruct(ct.scan(shepp_logan_1d(16)))
+        assert np.isnan(report.relative_error)
+
+
+class TestCT2D:
+    def test_2d_phantom_structure(self):
+        from repro.apps import shepp_logan_2d
+
+        img = shepp_logan_2d(16, 20)
+        assert img.shape == (16, 20)
+        assert img.min() >= 0.1 and img.max() > 1.0
+        # Corners are background; center carries density.
+        assert img[0, 0] == pytest.approx(0.1)
+        assert img[8, 10] > 0.5
+
+    def test_2d_operator_order_scales_with_pixels(self):
+        from repro.apps import projection_matrix_2d
+
+        m = projection_matrix_2d(6, 8, seed=1)
+        assert m.shape == (48, 48)
+        assert np.linalg.matrix_rank(m) == 48
+
+    def test_2d_reconstruction_through_pipeline(self):
+        from repro.apps import projection_matrix_2d, shepp_logan_2d
+
+        h, w = 8, 8
+        m = projection_matrix_2d(h, w, seed=2)
+        ct = CTReconstructor(m, CFG)
+        image = shepp_logan_2d(h, w).ravel()
+        report = ct.reconstruct(ct.scan(image), image)
+        assert report.relative_error < 1e-9
+        assert report.reconstructed.reshape(h, w).shape == (h, w)
+
+
+class TestCovariance:
+    def test_contact_recovery(self):
+        contacts = synthetic_contacts(24, 6, seed=1)
+        prec = precision_from_contacts(24, contacts)
+        samples = sample_observations(prec, 6000, seed=2)
+        pred = predict_contacts(samples, 6, true_contacts=contacts, config=CFG)
+        assert pred.true_positive_rate >= 0.8
+
+    def test_precision_matrix_spd(self):
+        contacts = synthetic_contacts(16, 4, seed=3)
+        prec = precision_from_contacts(16, contacts)
+        assert np.all(np.linalg.eigvalsh(prec) > 0)
+
+    def test_sampling_covariance_converges(self):
+        contacts = synthetic_contacts(8, 2, seed=4)
+        prec = precision_from_contacts(8, contacts)
+        cov_true = np.linalg.inv(prec)
+        samples = sample_observations(prec, 60000, seed=5)
+        cov_emp = empirical_covariance(samples, shrinkage=0.0)
+        assert np.allclose(cov_emp, cov_true, atol=0.05)
+
+    def test_contacts_are_distinct_nontrivial(self):
+        contacts = synthetic_contacts(30, 10, seed=6)
+        assert len(set(contacts)) == 10
+        assert all(j > i + 1 for i, j in contacts)
+
+    def test_empty_prediction_rate(self):
+        from repro.apps import ContactPrediction
+
+        p = ContactPrediction(predicted=[], true_contacts=[(0, 2)], precision_matrix=np.eye(3))
+        assert p.true_positive_rate == 0.0

@@ -1,0 +1,104 @@
+"""Baseline inversion methods and the method job-count comparison."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    gauss_jordan_invert,
+    gauss_jordan_mapreduce_jobs,
+    gauss_jordan_solve,
+    lapack_lu,
+    method_job_counts,
+    numpy_invert,
+    qr_invert,
+    qr_mapreduce_jobs,
+    svd_invert,
+)
+from repro.linalg.lu import SingularMatrixError
+
+from conftest import random_invertible
+
+
+class TestGaussJordan:
+    @pytest.mark.parametrize("n", [1, 2, 5, 20, 50])
+    def test_inverse(self, rng, n):
+        a = random_invertible(rng, n)
+        inv = gauss_jordan_invert(a)
+        assert np.allclose(a @ inv, np.eye(n), atol=1e-9)
+
+    def test_matches_numpy(self, rng):
+        a = random_invertible(rng, 16)
+        assert np.allclose(gauss_jordan_invert(a), numpy_invert(a), atol=1e-9)
+
+    def test_pivoting_handles_zero_leading(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert np.allclose(gauss_jordan_invert(a), a)
+
+    def test_no_pivot_fails(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(SingularMatrixError):
+            gauss_jordan_invert(a, pivot=False)
+
+    def test_singular_detected(self):
+        with pytest.raises(SingularMatrixError):
+            gauss_jordan_invert(np.ones((4, 4)))
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            gauss_jordan_invert(rng.standard_normal((2, 3)))
+
+    def test_solve(self, rng):
+        a = random_invertible(rng, 10)
+        x = rng.standard_normal(10)
+        assert np.allclose(gauss_jordan_solve(a, a @ x), x)
+
+
+class TestOtherMethods:
+    def test_svd_invert(self, rng):
+        a = random_invertible(rng, 20)
+        assert np.allclose(svd_invert(a), numpy_invert(a), atol=1e-8)
+
+    def test_svd_detects_singular(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            svd_invert(np.ones((4, 4)))
+
+    def test_qr_invert(self, rng):
+        a = random_invertible(rng, 20)
+        assert np.allclose(qr_invert(a), numpy_invert(a), atol=1e-8)
+
+    def test_lapack_lu_convention(self, rng):
+        """lapack_lu returns the same PA = LU convention as repro.linalg."""
+        a = random_invertible(rng, 12)
+        s, lower, upper = lapack_lu(a)
+        assert np.allclose(a[s], lower @ upper, atol=1e-10)
+
+    def test_all_methods_agree_on_pipeline_output(self, rng):
+        from repro import InversionConfig, invert
+
+        a = random_invertible(rng, 32)
+        pipeline = invert(a, InversionConfig(nb=8, m0=4)).inverse
+        for method in (numpy_invert, gauss_jordan_invert, svd_invert, qr_invert):
+            assert np.allclose(pipeline, method(a), atol=1e-7)
+
+
+class TestJobCountComparison:
+    def test_section42_example(self):
+        """"Inverting a matrix with n = 10^5 requires 32 iterations using
+        block LU ... as opposed to 10^5 iterations" (nb = 3200)."""
+        counts = method_job_counts(100_000, 3200)
+        assert counts["gauss-jordan"] == 100_000
+        assert counts["qr"] == 100_000
+        # 32 LU iterations -> 31 LU jobs + partition + final = 33 (Table 3).
+        assert counts["block-lu"] == 33
+
+    def test_block_lu_always_fewest(self):
+        for n in (100, 1000, 10000):
+            counts = method_job_counts(n, 64)
+            assert counts["block-lu"] < counts["gauss-jordan"]
+            assert counts["block-lu"] < counts["qr"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            gauss_jordan_mapreduce_jobs(0)
+        with pytest.raises(ValueError):
+            qr_mapreduce_jobs(0)

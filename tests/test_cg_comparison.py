@@ -1,0 +1,91 @@
+"""Conjugate gradient and the inversion-vs-iterative comparison app."""
+
+import numpy as np
+import pytest
+
+from repro.apps import compare_strategies, execute_both
+from repro.linalg import (
+    cg_flops_per_solve,
+    conjugate_gradient,
+    inversion_flops,
+    solve_strategy_crossover,
+)
+from repro.workloads import laplacian_1d, symmetric_positive_definite
+
+
+class TestConjugateGradient:
+    @pytest.mark.parametrize("n", [2, 8, 32, 64])
+    def test_solves_spd(self, rng, n):
+        a = symmetric_positive_definite(n, seed=n)
+        x_true = rng.standard_normal(n)
+        res = conjugate_gradient(a, a @ x_true)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_exact_in_n_iterations(self):
+        """CG is a direct method in exact arithmetic: <= n iterations."""
+        a = laplacian_1d(24)
+        b = np.ones(24)
+        res = conjugate_gradient(a, b, tol=1e-12)
+        assert res.converged
+        assert res.iterations <= 24
+
+    def test_well_conditioned_converges_fast(self):
+        a = np.eye(50) + 0.01 * symmetric_positive_definite(50, seed=1) / 50
+        res = conjugate_gradient(a, np.ones(50))
+        assert res.iterations < 10
+
+    def test_residual_history_monotone_at_end(self, rng):
+        a = symmetric_positive_definite(20, seed=2)
+        res = conjugate_gradient(a, rng.standard_normal(20))
+        assert res.residual_history[-1] < res.residual_history[0]
+
+    def test_zero_rhs(self):
+        res = conjugate_gradient(np.eye(5), np.zeros(5))
+        assert res.converged and res.iterations == 0
+        assert np.array_equal(res.x, np.zeros(5))
+
+    def test_warm_start(self, rng):
+        a = symmetric_positive_definite(16, seed=3)
+        x_true = rng.standard_normal(16)
+        res = conjugate_gradient(a, a @ x_true, x0=x_true + 1e-8, tol=1e-7)
+        assert res.iterations <= 2
+
+    def test_indefinite_detected(self):
+        a = np.diag([1.0, -1.0, 2.0])
+        res = conjugate_gradient(a, np.array([1.0, 1.0, 1.0]), max_iterations=10)
+        assert not res.converged
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            conjugate_gradient(np.eye(4), np.zeros(5))
+
+
+class TestStrategyComparison:
+    def test_crossover_formula(self):
+        # n=100, k=50: CG per rhs = 2*100^2*50 = 1e6; inverse per rhs 1e4;
+        # crossover = ceil(1e6 / (1e6 - 1e4)) = ceil(1.0101..) = 2.
+        assert solve_strategy_crossover(100, 50) == 2
+
+    def test_flop_formulas(self):
+        assert cg_flops_per_solve(10, 5) == 1000
+        assert inversion_flops(10, 3) == 1000 + 300
+
+    def test_many_rhs_favors_inversion(self):
+        a = symmetric_positive_definite(48, seed=4)
+        cmp = compare_strategies(a)
+        assert cmp.cheaper_strategy(10_000) == "inversion"
+
+    def test_comparison_reports_iterations(self):
+        a = laplacian_1d(32)  # cond ~ n^2: CG needs a meaningful k
+        cmp = compare_strategies(a)
+        assert 4 < cmp.cg_iterations <= 32
+
+    def test_executed_agreement(self, rng):
+        from repro.inversion import InversionConfig
+
+        a = symmetric_positive_definite(48, seed=5)
+        rhs = rng.standard_normal((48, 3))
+        res = execute_both(a, rhs, config=InversionConfig(nb=16, m0=4))
+        assert res.max_solution_difference < 1e-8
+        assert all(r.converged for r in res.cg_results)

@@ -1,0 +1,227 @@
+"""Cluster substrate: node specs, cost model, trace replay."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    EC2_LARGE,
+    EC2_MEDIUM,
+    ScaleFactors,
+    ideal_time,
+    ours_inversion_cost,
+    ours_lu_cost,
+    ours_time,
+    ours_total_cost,
+    scalapack_lu_cost,
+    scalapack_time,
+    simulate_record,
+    table1_l,
+    table2_l,
+    task_duration,
+)
+from repro.cluster.costmodel import straggler_factor
+from repro.mapreduce.pipeline import MasterPhase, PipelineRecord
+from repro.mapreduce.types import JobId, JobResult, TaskKind, TaskTrace
+
+
+class TestNodeSpecs:
+    def test_medium_matches_paper_description(self):
+        assert EC2_MEDIUM.cores == 1
+        assert EC2_MEDIUM.memory_bytes == pytest.approx(3.7e9)
+
+    def test_large_has_two_cores(self):
+        assert EC2_LARGE.cores == 2
+        assert EC2_LARGE.flops == 2 * EC2_LARGE.flops_per_core
+
+    def test_scaled(self):
+        fast = EC2_MEDIUM.scaled(2.0)
+        assert fast.flops == 2 * EC2_MEDIUM.flops
+        assert fast.memory_bytes == EC2_MEDIUM.memory_bytes
+
+    def test_cluster_totals(self):
+        c = ClusterSpec(num_nodes=8, node=EC2_LARGE)
+        assert c.total_cores == 16
+        assert c.total_flops == 8 * EC2_LARGE.flops
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+
+
+class TestCostModel:
+    def test_table1_l_value(self):
+        # m0 = 64 => f1 = f2 = 8 => l = (64 + 16 + 16)/4 = 24.
+        assert table1_l(64) == 24.0
+
+    def test_table2_l_value(self):
+        assert table2_l(64) == (64 + 8 + 8) / 2
+
+    def test_lu_cost_formulas(self):
+        n, m0 = 1000, 16
+        cost = ours_lu_cost(n, m0)
+        assert cost.write == 1.5 * n * n
+        assert cost.read == (table1_l(m0) + 3) * n * n
+        assert cost.mults == pytest.approx(n**3 / 3)
+        assert cost.adds == cost.mults
+
+    def test_scalapack_lu_transfer(self):
+        n, m0 = 1000, 16
+        assert scalapack_lu_cost(n, m0).transfer == pytest.approx(2 / 3 * m0 * n * n)
+
+    def test_inversion_cost_mults(self):
+        cost = ours_inversion_cost(300, 4)
+        assert cost.mults == pytest.approx(2 / 3 * 300**3)
+
+    def test_cost_addition(self):
+        total = ours_total_cost(100, 4)
+        lu = ours_lu_cost(100, 4)
+        inv = ours_inversion_cost(100, 4)
+        assert total.flops == lu.flops + inv.flops
+        assert total.io_elements == lu.io_elements + inv.io_elements
+
+    def test_ideal_time(self):
+        assert ideal_time(100.0, 4) == 25.0
+
+
+class TestTimeModels:
+    def test_ours_time_decreases_with_nodes(self):
+        times = [
+            ours_time(20480, ClusterSpec(m), 3200).total for m in (2, 4, 8, 16, 32)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_ours_launch_overhead_constant_in_nodes(self):
+        t4 = ours_time(20480, ClusterSpec(4), 3200)
+        t64 = ours_time(20480, ClusterSpec(64), 3200)
+        assert t4.launch == t64.launch > 0
+
+    def test_scaling_deviates_from_ideal_at_high_nodes(self):
+        """Figure 6's deviation: constant terms cap the speedup."""
+        t2 = ours_time(20480, ClusterSpec(2), 3200).total
+        t64 = ours_time(20480, ClusterSpec(64), 3200).total
+        assert t64 > ideal_time(t2 * 2, 64)
+
+    def test_scalapack_straggler_grows(self):
+        assert straggler_factor(1) == 1.0
+        assert straggler_factor(64) > straggler_factor(8) > 1.0
+
+    def test_figure8_ratio_increases_with_nodes(self):
+        ratios = []
+        for m0 in (8, 16, 32, 64):
+            c = ClusterSpec(m0)
+            ratios.append(
+                scalapack_time(32768, c).total / ours_time(32768, c, 3200).total
+            )
+        assert ratios == sorted(ratios)
+
+    def test_figure8_ratio_increases_with_matrix_size(self):
+        c = ClusterSpec(64)
+        r = [
+            scalapack_time(n, c).total / ours_time(n, c, 3200).total
+            for n in (20480, 32768, 40960)
+        ]
+        assert r == sorted(r)
+
+    def test_scalapack_wins_small_scale(self):
+        """Figure 8: ratio below 1 at small node counts."""
+        c = ClusterSpec(8)
+        assert scalapack_time(20480, c).total < ours_time(20480, c, 3200).total
+
+    def test_ours_wins_at_paper_scale_m4(self):
+        """Section 7.5: both M4 configurations favor the pipeline."""
+        for cluster in (ClusterSpec(64, EC2_MEDIUM), ClusterSpec(128, EC2_LARGE)):
+            assert (
+                scalapack_time(102400, cluster).total
+                > ours_time(102400, cluster, 3200).total
+            )
+
+    def test_memory_spill_triggers_when_too_big(self):
+        tiny = ClusterSpec(1, EC2_MEDIUM)
+        breakdown = scalapack_time(40960, tiny)  # 13 GB matrix on 3.7 GB node
+        assert breakdown.spill > 0
+        big = ClusterSpec(64, EC2_MEDIUM)
+        assert scalapack_time(40960, big).spill == 0
+
+
+def _trace(kind, flops=0.0, read=0, written=0, shuffled=0):
+    return TaskTrace(
+        attempt="t", kind=kind, flops=flops, bytes_read=read,
+        bytes_written=written, bytes_shuffled=shuffled,
+    )
+
+
+def _job(name, map_traces, reduce_traces=(), map_retries=None):
+    return JobResult(
+        job_id=JobId(1),
+        name=name,
+        succeeded=True,
+        map_traces=list(map_traces),
+        reduce_traces=list(reduce_traces),
+        map_retries=map_retries or {},
+    )
+
+
+class TestSimulator:
+    CLUSTER = ClusterSpec(num_nodes=2, node=EC2_MEDIUM, job_launch_overhead=10.0)
+
+    def test_task_duration_components(self):
+        t = _trace(TaskKind.MAP, flops=5e8, read=60e6, written=0, shuffled=60e6)
+        d = task_duration(t, self.CLUSTER, ScaleFactors())
+        assert d == pytest.approx(1.0 + 1.0 + 1.0)
+
+    def test_scale_factors_for_order(self):
+        s = ScaleFactors.for_order(100, 1000)
+        assert s.flops == pytest.approx(1000.0)
+        assert s.bytes == pytest.approx(100.0)
+
+    def test_single_job_makespan(self):
+        job = _job("j", [_trace(TaskKind.MAP, flops=5e8)] * 2)
+        report = simulate_record(PipelineRecord(steps=[job]), self.CLUSTER)
+        # launch 10s + two 1s tasks on two nodes in parallel.
+        assert report.makespan == pytest.approx(11.0)
+
+    def test_tasks_queue_when_nodes_busy(self):
+        job = _job("j", [_trace(TaskKind.MAP, flops=5e8)] * 4)
+        report = simulate_record(PipelineRecord(steps=[job]), self.CLUSTER)
+        assert report.makespan == pytest.approx(12.0)  # two waves of 1s
+
+    def test_reduce_barrier_after_maps(self):
+        job = _job(
+            "j",
+            [_trace(TaskKind.MAP, flops=5e8)],
+            [_trace(TaskKind.REDUCE, flops=5e8)] * 2,
+        )
+        report = simulate_record(PipelineRecord(steps=[job]), self.CLUSTER)
+        assert report.makespan == pytest.approx(10 + 1 + 1)
+
+    def test_master_phase_serializes(self):
+        record = PipelineRecord(
+            steps=[MasterPhase(name="m", flops=1e9), _job("j", [_trace(TaskKind.MAP, flops=5e8)])]
+        )
+        report = simulate_record(record, self.CLUSTER)
+        assert report.makespan == pytest.approx(2.0 + 10.0 + 1.0)
+        assert report.master_seconds == pytest.approx(2.0)
+
+    def test_retry_occupies_slot(self):
+        """Section 7.4: the failed attempt delays the retried task until a
+        slot frees, stretching the map phase."""
+        clean = _job("j", [_trace(TaskKind.MAP, flops=5e8)] * 2)
+        failed = _job(
+            "j", [_trace(TaskKind.MAP, flops=5e8)] * 2, map_retries={0: 1}
+        )
+        t_clean = simulate_record(PipelineRecord(steps=[clean]), self.CLUSTER).makespan
+        t_failed = simulate_record(PipelineRecord(steps=[failed]), self.CLUSTER).makespan
+        assert t_failed == pytest.approx(t_clean + 1.0)
+
+    def test_scaling_lifts_work(self):
+        job = _job("j", [_trace(TaskKind.MAP, flops=5e8)])
+        base = simulate_record(PipelineRecord(steps=[job]), self.CLUSTER).makespan
+        lifted = simulate_record(
+            PipelineRecord(steps=[job]), self.CLUSTER, ScaleFactors(flops=8.0)
+        ).makespan
+        assert lifted == pytest.approx(base + 7.0)
+
+    def test_utilization_bounded(self):
+        job = _job("j", [_trace(TaskKind.MAP, flops=5e8)] * 4)
+        report = simulate_record(PipelineRecord(steps=[job]), self.CLUSTER)
+        assert 0 < report.utilization <= 1

@@ -1,0 +1,103 @@
+"""Block store: placement, replication, checksums, failures."""
+
+import pytest
+
+from repro.dfs.blocks import (
+    BlockCorruptionError,
+    BlockMissingError,
+    BlockStore,
+)
+
+
+@pytest.fixture
+def store() -> BlockStore:
+    return BlockStore(num_datanodes=5, replication=3, block_size=1024, seed=3)
+
+
+class TestPlacement:
+    def test_write_returns_requested_replication(self, store):
+        info = store.write_block(b"hello")
+        assert len(info.replicas) == 3
+
+    def test_replicas_are_distinct_nodes(self, store):
+        info = store.write_block(b"payload")
+        assert len(set(info.replicas)) == len(info.replicas)
+
+    def test_replication_capped_by_cluster_size(self):
+        small = BlockStore(num_datanodes=2, replication=3)
+        info = small.write_block(b"x")
+        assert len(info.replicas) == 2
+
+    def test_each_replica_node_stores_payload(self, store):
+        info = store.write_block(b"abc")
+        for node_idx in info.replicas:
+            assert store.datanodes[node_idx].get(info.block_id) == b"abc"
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            BlockStore(num_datanodes=0)
+        with pytest.raises(ValueError):
+            BlockStore(num_datanodes=2, replication=0)
+
+
+class TestReads:
+    def test_roundtrip(self, store):
+        info = store.write_block(b"some data here")
+        assert store.read_block(info) == b"some data here"
+
+    def test_read_survives_single_node_failure(self, store):
+        info = store.write_block(b"resilient")
+        store.kill_datanode(info.replicas[0])
+        assert store.read_block(info) == b"resilient"
+
+    def test_read_survives_all_but_one_failure(self, store):
+        info = store.write_block(b"last copy")
+        for node_idx in info.replicas[:-1]:
+            store.kill_datanode(node_idx)
+        assert store.read_block(info) == b"last copy"
+
+    def test_read_fails_when_all_replicas_dead(self, store):
+        info = store.write_block(b"gone")
+        for node_idx in info.replicas:
+            store.kill_datanode(node_idx)
+        with pytest.raises(BlockMissingError):
+            store.read_block(info)
+
+    def test_revived_node_serves_again(self, store):
+        info = store.write_block(b"back")
+        for node_idx in info.replicas:
+            store.kill_datanode(node_idx)
+        store.revive_datanode(info.replicas[0])
+        assert store.read_block(info) == b"back"
+
+
+class TestCorruption:
+    def test_corrupt_replica_is_skipped(self, store):
+        info = store.write_block(b"check me")
+        assert store.corrupt_replica(info, info.replicas[0])
+        assert store.read_block(info) == b"check me"
+
+    def test_all_replicas_corrupt_raises(self, store):
+        info = store.write_block(b"doomed")
+        for node_idx in info.replicas:
+            store.corrupt_replica(info, node_idx)
+        with pytest.raises(BlockCorruptionError):
+            store.read_block(info)
+
+    def test_corrupt_missing_block_returns_false(self, store):
+        info = store.write_block(b"x")
+        absent = [i for i in range(5) if i not in info.replicas]
+        assert not store.corrupt_replica(info, absent[0])
+
+
+class TestDeletion:
+    def test_delete_frees_all_replicas(self, store):
+        info = store.write_block(b"bye")
+        store.delete_block(info)
+        for dn in store.datanodes:
+            assert dn.get(info.block_id) is None
+        assert store.block_count == 0
+
+    def test_stored_bytes_accounting(self, store):
+        store.write_block(b"12345678")
+        assert store.total_stored_bytes == 8 * 3

@@ -1,0 +1,128 @@
+"""DFS facade: file I/O, range reads, accounting, namespace ops."""
+
+import pytest
+
+from repro.dfs import DFS, FileNotFound
+
+
+class TestRoundTrips:
+    def test_bytes_roundtrip(self, dfs):
+        dfs.write_bytes("/x/y", b"payload")
+        assert dfs.read_bytes("/x/y") == b"payload"
+
+    def test_text_roundtrip(self, dfs):
+        dfs.write_text("/t", "héllo\nwörld")
+        assert dfs.read_text("/t") == "héllo\nwörld"
+
+    def test_empty_file(self, dfs):
+        dfs.write_bytes("/empty", b"")
+        assert dfs.read_bytes("/empty") == b""
+        assert dfs.file_size("/empty") == 0
+
+    def test_multi_block_file(self, dfs):
+        data = bytes(range(256)) * 1024  # 256 KiB over 64 KiB blocks
+        dfs.write_bytes("/big", data)
+        assert dfs.read_bytes("/big") == data
+        entry = dfs.namenode.get_file("/big")
+        assert len(entry.blocks) == 4
+
+    def test_writer_context_manager_flushes(self, dfs):
+        with dfs.create("/w") as w:
+            w.write(b"part1")
+            w.write(b"part2")
+        assert dfs.read_bytes("/w") == b"part1part2"
+
+    def test_write_after_close_rejected(self, dfs):
+        w = dfs.create("/w")
+        w.close()
+        with pytest.raises(ValueError):
+            w.write(b"late")
+
+
+class TestRangeReads:
+    def test_range_within_one_block(self, dfs):
+        dfs.write_bytes("/r", b"0123456789")
+        assert dfs.read_range("/r", 2, 5) == b"23456"
+
+    def test_range_spanning_blocks(self, dfs):
+        data = b"A" * 70000 + b"B" * 70000  # crosses the 64 KiB boundary
+        dfs.write_bytes("/r", data)
+        got = dfs.read_range("/r", 69998, 4)
+        assert got == b"AABB"
+
+    def test_range_past_eof_truncated(self, dfs):
+        dfs.write_bytes("/r", b"short")
+        assert dfs.read_range("/r", 3, 100) == b"rt"
+
+    def test_negative_range_rejected(self, dfs):
+        dfs.write_bytes("/r", b"x")
+        with pytest.raises(ValueError):
+            dfs.read_range("/r", -1, 2)
+
+
+class TestAccounting:
+    def test_write_counts_replicated_bytes(self, dfs):
+        before = dfs.stats.snapshot()
+        dfs.write_bytes("/acc", b"x" * 100)
+        delta = dfs.stats.snapshot() - before
+        assert delta.bytes_written == 300  # replication factor 3
+        assert delta.bytes_transferred == 200  # 2 remote replicas
+        assert delta.files_created == 1
+
+    def test_read_counts_bytes(self, dfs):
+        dfs.write_bytes("/acc", b"y" * 50)
+        before = dfs.stats.snapshot()
+        dfs.read_bytes("/acc")
+        delta = dfs.stats.snapshot() - before
+        assert delta.bytes_read == 50
+        assert delta.bytes_transferred == 50
+
+    def test_local_read_skips_transfer(self, dfs):
+        dfs.write_bytes("/acc", b"z" * 50)
+        before = dfs.stats.snapshot()
+        dfs.read_bytes("/acc", local=True)
+        delta = dfs.stats.snapshot() - before
+        assert delta.bytes_read == 50
+        assert delta.bytes_transferred == 0
+
+    def test_range_read_counts_only_range(self, dfs):
+        dfs.write_bytes("/acc", b"w" * 1000)
+        before = dfs.stats.snapshot()
+        dfs.read_range("/acc", 100, 200)
+        delta = dfs.stats.snapshot() - before
+        assert delta.bytes_read == 200
+
+
+class TestNamespaceOps:
+    def test_glob(self, dfs):
+        dfs.write_bytes("/Root/L2/L.0", b"a")
+        dfs.write_bytes("/Root/L2/L.1", b"b")
+        dfs.write_bytes("/Root/U2/U.0", b"c")
+        assert dfs.glob("/Root/L2/L.*") == ["/Root/L2/L.0", "/Root/L2/L.1"]
+
+    def test_delete_recursive_frees_blocks(self, dfs):
+        dfs.write_bytes("/d/a", b"x" * 100)
+        dfs.write_bytes("/d/b", b"y" * 100)
+        assert dfs.total_stored_bytes() == 600
+        dfs.delete("/d", recursive=True)
+        assert dfs.total_stored_bytes() == 0
+
+    def test_read_missing_raises(self, dfs):
+        with pytest.raises(FileNotFound):
+            dfs.read_bytes("/ghost")
+
+    def test_rename_preserves_content(self, dfs):
+        dfs.write_bytes("/old", b"keep")
+        dfs.rename("/old", "/new/name")
+        assert dfs.read_bytes("/new/name") == b"keep"
+
+    def test_list_files_and_tree(self, dfs):
+        dfs.write_bytes("/a/b", b"1")
+        dfs.write_bytes("/a/c", b"22")
+        assert dfs.list_files("/a") == ["/a/b", "/a/c"]
+        assert "(2 B)" in dfs.tree("/a")
+
+    def test_overwrite_replaces_content(self, dfs):
+        dfs.write_bytes("/f", b"one")
+        dfs.write_bytes("/f", b"two")
+        assert dfs.read_bytes("/f") == b"two"

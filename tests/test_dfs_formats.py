@@ -1,0 +1,109 @@
+"""Matrix codecs: binary and text round trips, range reads, sizes."""
+
+import numpy as np
+import pytest
+
+from repro.dfs import formats
+
+
+class TestBinaryCodec:
+    def test_roundtrip(self, rng):
+        m = rng.standard_normal((7, 11))
+        assert np.array_equal(formats.decode_matrix(formats.encode_matrix(m)), m)
+
+    def test_preserves_exact_doubles(self):
+        m = np.array([[1e-300, -1e300], [np.pi, -0.0]])
+        out = formats.decode_matrix(formats.encode_matrix(m))
+        assert np.array_equal(out, m)
+        assert np.signbit(out[1, 1])
+
+    def test_empty_matrix(self):
+        m = np.zeros((0, 5))
+        out = formats.decode_matrix(formats.encode_matrix(m))
+        assert out.shape == (0, 5)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            formats.encode_matrix(np.zeros(3))
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            formats.decode_matrix(b"XXXX" + b"\x00" * 32)
+
+    def test_rejects_truncated_payload(self, rng):
+        data = formats.encode_matrix(rng.standard_normal((4, 4)))
+        with pytest.raises(ValueError, match="elements"):
+            formats.decode_matrix(data[:-8])
+
+    def test_rejects_truncated_header(self):
+        with pytest.raises(ValueError, match="header"):
+            formats.decode_matrix(b"RM")
+
+
+class TestDfsHelpers:
+    def test_write_read(self, dfs, rng):
+        m = rng.standard_normal((6, 6))
+        formats.write_matrix(dfs, "/m", m)
+        assert np.array_equal(formats.read_matrix(dfs, "/m"), m)
+
+    def test_matrix_shape_reads_header_only(self, dfs, rng):
+        m = rng.standard_normal((9, 4))
+        formats.write_matrix(dfs, "/m", m)
+        before = dfs.stats.snapshot()
+        assert formats.matrix_shape(dfs, "/m") == (9, 4)
+        delta = dfs.stats.snapshot() - before
+        assert delta.bytes_read == 16  # header only
+
+    def test_read_rows_range(self, dfs, rng):
+        m = rng.standard_normal((10, 3))
+        formats.write_matrix(dfs, "/m", m)
+        got = formats.read_rows(dfs, "/m", 2, 7)
+        assert np.array_equal(got, m[2:7])
+
+    def test_read_rows_reads_fewer_bytes(self, dfs, rng):
+        m = rng.standard_normal((100, 20))
+        formats.write_matrix(dfs, "/m", m)
+        before = dfs.stats.snapshot()
+        formats.read_rows(dfs, "/m", 0, 10)
+        delta = dfs.stats.snapshot() - before
+        assert delta.bytes_read < m.nbytes / 5
+
+    def test_read_rows_bounds_checked(self, dfs, rng):
+        formats.write_matrix(dfs, "/m", rng.standard_normal((5, 5)))
+        with pytest.raises(ValueError):
+            formats.read_rows(dfs, "/m", 3, 9)
+
+
+class TestTextCodec:
+    def test_roundtrip(self, rng):
+        m = rng.standard_normal((5, 8))
+        out = formats.decode_matrix_text(formats.encode_matrix_text(m))
+        assert np.array_equal(out, m)  # repr(float) round-trips exactly
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            formats.decode_matrix_text("1 2 3\n4 5\n")
+
+    def test_empty_text(self):
+        assert formats.decode_matrix_text("").shape == (0, 0)
+
+    def test_blank_lines_skipped(self):
+        m = formats.decode_matrix_text("1 2\n\n3 4\n")
+        assert np.array_equal(m, [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_dfs_text_roundtrip(self, dfs, rng):
+        m = rng.standard_normal((4, 4))
+        formats.write_matrix_text(dfs, "/t", m)
+        assert np.array_equal(formats.read_matrix_text(dfs, "/t"), m)
+
+
+class TestSizes:
+    def test_binary_size_formula(self):
+        assert formats.binary_size_bytes(10, 10) == 16 + 800
+
+    def test_text_larger_than_binary(self, rng):
+        """Table 3: text representation is ~2.5x the binary one."""
+        m = rng.standard_normal((50, 50))
+        text = formats.text_size_bytes(m)
+        binary = formats.binary_size_bytes(50, 50)
+        assert text > 1.5 * binary

@@ -1,0 +1,126 @@
+"""Namenode namespace semantics."""
+
+import pytest
+
+from repro.dfs.namenode import (
+    DirectoryNotEmpty,
+    FileAlreadyExists,
+    FileNotFound,
+    IsADirectory,
+    NameNode,
+    NotADirectory,
+    normalize,
+)
+
+
+@pytest.fixture
+def nn() -> NameNode:
+    return NameNode()
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("/a/b", "/a/b"),
+            ("a/b", "/a/b"),
+            ("/a//b/", "/a/b"),
+            ("/", "/"),
+            ("", "/"),
+            ("/a/./b", "/a/b"),
+        ],
+    )
+    def test_forms(self, raw, expected):
+        assert normalize(raw) == expected
+
+
+class TestCreate:
+    def test_create_file_makes_parents(self, nn):
+        nn.create_file("/Root/A1/A2/file")
+        assert nn.is_dir("/Root/A1/A2")
+        assert nn.is_file("/Root/A1/A2/file")
+
+    def test_create_duplicate_rejected(self, nn):
+        nn.create_file("/f")
+        with pytest.raises(FileAlreadyExists):
+            nn.create_file("/f")
+
+    def test_overwrite_allowed_when_requested(self, nn):
+        first = nn.create_file("/f")
+        second = nn.create_file("/f", overwrite=True)
+        assert second is not first
+
+    def test_create_over_directory_rejected(self, nn):
+        nn.mkdirs("/d")
+        with pytest.raises(IsADirectory):
+            nn.create_file("/d")
+
+    def test_create_under_file_rejected(self, nn):
+        nn.create_file("/f")
+        with pytest.raises(NotADirectory):
+            nn.create_file("/f/child")
+
+
+class TestListing:
+    def test_list_dir_sorted(self, nn):
+        for name in ("b", "a", "c"):
+            nn.create_file(f"/d/{name}")
+        assert nn.list_dir("/d") == ["a", "b", "c"]
+
+    def test_list_missing_raises(self, nn):
+        with pytest.raises(FileNotFound):
+            nn.list_dir("/nope")
+
+    def test_list_file_raises(self, nn):
+        nn.create_file("/f")
+        with pytest.raises(NotADirectory):
+            nn.list_dir("/f")
+
+    def test_walk_files_depth_first(self, nn):
+        nn.create_file("/r/x")
+        nn.create_file("/r/sub/y")
+        assert nn.walk_files("/r") == ["/r/sub/y", "/r/x"]
+
+
+class TestDelete:
+    def test_delete_file(self, nn):
+        nn.create_file("/f")
+        removed = nn.delete("/f")
+        assert len(removed) == 1
+        assert not nn.exists("/f")
+
+    def test_delete_nonempty_dir_needs_recursive(self, nn):
+        nn.create_file("/d/f")
+        with pytest.raises(DirectoryNotEmpty):
+            nn.delete("/d")
+        removed = nn.delete("/d", recursive=True)
+        assert len(removed) == 1
+
+    def test_delete_collects_nested_files(self, nn):
+        nn.create_file("/d/a")
+        nn.create_file("/d/sub/b")
+        removed = nn.delete("/d", recursive=True)
+        assert len(removed) == 2
+
+    def test_delete_missing_raises(self, nn):
+        with pytest.raises(FileNotFound):
+            nn.delete("/missing")
+
+
+class TestRename:
+    def test_rename_file(self, nn):
+        nn.create_file("/a")
+        nn.rename("/a", "/b/c")
+        assert not nn.exists("/a")
+        assert nn.is_file("/b/c")
+
+    def test_rename_directory_moves_children(self, nn):
+        nn.create_file("/src/f")
+        nn.rename("/src", "/dst")
+        assert nn.is_file("/dst/f")
+
+    def test_rename_onto_existing_rejected(self, nn):
+        nn.create_file("/a")
+        nn.create_file("/b")
+        with pytest.raises(FileAlreadyExists):
+            nn.rename("/a", "/b")

@@ -1,0 +1,106 @@
+"""Extreme pipeline geometries: deep recursion, degenerate worker counts,
+tiny leaves, and chunk-alignment corners."""
+
+import numpy as np
+import pytest
+
+from repro import InversionConfig, invert
+from repro.inversion import InversionPlan
+
+from conftest import random_invertible
+
+
+class TestDeepRecursion:
+    def test_depth_four_pipeline(self, rng):
+        """nb=4 on n=64: depth 4, 17 jobs, leaves of order <= 4."""
+        a = random_invertible(rng, 64)
+        res = invert(a, InversionConfig(nb=4, m0=4))
+        assert res.plan.depth == 4
+        assert res.num_jobs == 17
+        assert res.residual(a) < 1e-8
+
+    def test_order_one_leaves(self, rng):
+        """nb=1: every leaf is a 1x1 block (no pivot choice at all); diagonal
+        dominance keeps it safe and the pipeline still composes correctly."""
+        from repro.workloads import diagonally_dominant
+
+        a = diagonally_dominant(16, seed=3)
+        res = invert(a, InversionConfig(nb=1, m0=2))
+        assert res.residual(a) < 1e-8
+        assert all(leaf.n == 1 for leaf in res.plan.tree.leaves())
+
+    def test_depth_five_plan_structure(self):
+        plan = InversionPlan(n=1024, nb=32, m0=4)
+        plan.validate()
+        assert plan.depth == 5
+        assert plan.num_jobs == 33  # matches M4's shape
+
+
+class TestDegenerateWorkerCounts:
+    def test_more_workers_than_rows(self, rng):
+        """m0 = 16 on a 12x12 matrix: most chunks are empty; every task must
+        handle its zero-width share gracefully."""
+        a = random_invertible(rng, 12)
+        res = invert(a, InversionConfig(nb=4, m0=16))
+        assert res.residual(a) < 1e-9
+
+    def test_m0_two_minimum(self, rng):
+        a = random_invertible(rng, 40)
+        res = invert(a, InversionConfig(nb=10, m0=2))
+        assert res.residual(a) < 1e-9
+
+    def test_odd_m0_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            InversionConfig(nb=8, m0=5)
+
+    def test_large_m0_with_odd_order(self, rng):
+        a = random_invertible(rng, 37)
+        res = invert(a, InversionConfig(nb=10, m0=12))
+        assert res.residual(a) < 1e-9
+
+    def test_prime_order_prime_chunks(self, rng):
+        """n=53 with m0=6: nothing divides anything; every chunk boundary is
+        irregular."""
+        a = random_invertible(rng, 53)
+        res = invert(a, InversionConfig(nb=7, m0=6))
+        assert np.allclose(res.inverse, np.linalg.inv(a), atol=1e-8)
+
+
+class TestSmallMatrices:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_tiny_orders(self, rng, n):
+        a = random_invertible(rng, n)
+        res = invert(a, InversionConfig(nb=2, m0=2))
+        assert np.allclose(res.inverse, np.linalg.inv(a), atol=1e-10)
+
+    def test_one_by_one(self):
+        res = invert(np.array([[4.0]]), InversionConfig(nb=2, m0=2))
+        assert res.inverse[0, 0] == pytest.approx(0.25)
+
+    def test_n_equals_nb_boundary(self, rng):
+        """n == nb: single leaf, one job; n == nb + 1: full pipeline."""
+        a = random_invertible(rng, 16)
+        at_boundary = invert(a, InversionConfig(nb=16, m0=2))
+        assert at_boundary.num_jobs == 1
+        b = random_invertible(rng, 17)
+        past_boundary = invert(b, InversionConfig(nb=16, m0=2))
+        assert past_boundary.num_jobs == 3
+        assert past_boundary.residual(b) < 1e-9
+
+
+class TestAblationGeometry:
+    def test_naive_mode_deep_recursion(self, rng):
+        a = random_invertible(rng, 48)
+        res = invert(
+            a, InversionConfig(nb=4, m0=4, block_wrap=False, transpose_u=False)
+        )
+        assert res.residual(a) < 1e-8
+
+    def test_combined_mode_deep_recursion(self, rng):
+        a = random_invertible(rng, 48)
+        res = invert(a, InversionConfig(nb=4, m0=4, separate_files=False))
+        assert res.residual(a) < 1e-8
+        combines = [
+            p for p in res.record.master_phases if p.name.startswith("combine")
+        ]
+        assert len(combines) == res.plan.num_lu_jobs

@@ -1,0 +1,144 @@
+"""Secondary sort (grouping comparators) and block-aligned text splits."""
+
+import pytest
+
+from repro.mapreduce import (
+    InputSplit,
+    JobConf,
+    Mapper,
+    MapReduceRuntime,
+    Reducer,
+)
+from repro.mapreduce.job import text_input_splits
+from repro.mapreduce.shuffle import sort_and_group
+
+
+class TestSecondarySortUnit:
+    def test_grouping_by_natural_key(self):
+        pairs = [(("b", 2), "b2"), (("a", 2), "a2"), (("a", 1), "a1"), (("b", 1), "b1")]
+        groups = sort_and_group(pairs, grouping_fn=lambda k: k[0])
+        assert groups == [(("a", 1), ["a1", "a2"]), (("b", 1), ["b1", "b2"])]
+
+    def test_values_ordered_by_composite_key(self):
+        pairs = [(("x", i), i) for i in (5, 1, 3, 2, 4)]
+        groups = sort_and_group(pairs, grouping_fn=lambda k: k[0])
+        assert groups == [(("x", 1), [1, 2, 3, 4, 5])]
+
+    def test_without_sort_preserves_arrival(self):
+        pairs = [(("x", 2), 2), (("x", 1), 1)]
+        groups = sort_and_group(pairs, sort_keys=False, grouping_fn=lambda k: k[0])
+        assert groups[0][1] == [2, 1]
+
+    def test_no_grouping_fn_unchanged(self):
+        pairs = [("b", 1), ("a", 2)]
+        assert sort_and_group(pairs) == [("a", [2]), ("b", [1])]
+
+
+class _EventMapper(Mapper):
+    """Emits (user, timestamp) composite keys for the classic secondary-sort
+    use case: per-user event streams in time order."""
+
+    def map(self, ctx, split):
+        for user, ts, what in split.payload:
+            ctx.emit((user, ts), what)
+
+
+class _SessionReducer(Reducer):
+    def reduce(self, ctx, key, values):
+        ctx.emit(key[0], list(values))
+
+
+class TestSecondarySortJob:
+    def test_per_user_time_ordered_streams(self, runtime):
+        events = [
+            ("bob", 3, "logout"),
+            ("alice", 1, "login"),
+            ("bob", 1, "login"),
+            ("alice", 2, "click"),
+            ("bob", 2, "click"),
+        ]
+        conf = JobConf(
+            name="sessions",
+            mapper_factory=_EventMapper,
+            reducer_factory=_SessionReducer,
+            splits=[InputSplit(index=0, payload=events)],
+            num_reduce_tasks=2,
+            partitioner=lambda key, n: hash(key[0]) % n,  # natural key routing
+            grouping_fn=lambda key: key[0],
+        )
+        result = runtime.run_job(conf)
+        out = {k: v for pairs in result.reduce_outputs.values() for k, v in pairs}
+        assert out == {
+            "alice": ["login", "click"],
+            "bob": ["login", "click", "logout"],
+        }
+
+
+class TestTextInputSplits:
+    def make_file(self, dfs, lines):
+        dfs.write_text("/in/data", "\n".join(lines) + "\n")
+        return "/in/data"
+
+    def test_splits_cover_file_without_duplication(self, dfs):
+        lines = [f"line-{i:03d}" for i in range(100)]
+        path = self.make_file(dfs, lines)
+        splits = text_input_splits(dfs, path, target_split_bytes=200)
+        assert len(splits) > 1
+        total = sum(s.payload[1] for s in splits)
+        assert total == dfs.file_size(path)
+        # Ranges are contiguous and disjoint.
+        pos = 0
+        for s in splits:
+            assert s.payload[0] == pos
+            pos += s.payload[1]
+
+    def test_every_record_seen_exactly_once(self, dfs, runtime):
+        lines = [f"w{i % 10}" for i in range(500)]
+        path = self.make_file(dfs, lines)
+
+        class CountingMapper(Mapper):
+            def map_record(self, ctx, key, value):
+                ctx.emit(value, 1)
+
+        class Summer(Reducer):
+            def reduce(self, ctx, key, values):
+                ctx.emit(key, sum(values))
+
+        conf = JobConf(
+            name="split-wc",
+            mapper_factory=CountingMapper,
+            reducer_factory=Summer,
+            splits=text_input_splits(dfs, path, target_split_bytes=300),
+            num_reduce_tasks=3,
+        )
+        result = runtime.run_job(conf)
+        total = sum(
+            v for pairs in result.reduce_outputs.values() for _, v in pairs
+        )
+        assert total == 500
+
+    def test_boundaries_are_line_aligned(self, dfs):
+        lines = ["x" * 37 for _ in range(50)]
+        path = self.make_file(dfs, lines)
+        splits = text_input_splits(dfs, path, target_split_bytes=100)
+        for s in splits:
+            start, length = s.payload
+            chunk = dfs.read_range(path, start, length).decode()
+            for line in chunk.splitlines():
+                assert line == "x" * 37  # no torn records
+
+    def test_empty_file_single_split(self, dfs):
+        dfs.write_text("/in/empty", "")
+        splits = text_input_splits(dfs, "/in/empty", 100)
+        assert len(splits) == 1 and splits[0].payload == (0, 0)
+
+    def test_invalid_target_rejected(self, dfs):
+        dfs.write_text("/in/x", "a")
+        with pytest.raises(ValueError):
+            text_input_splits(dfs, "/in/x", 0)
+
+    def test_single_long_line_not_split(self, dfs):
+        dfs.write_text("/in/one", "y" * 1000)
+        splits = text_input_splits(dfs, "/in/one", 100)
+        assert len(splits) == 1
+        assert splits[0].payload == (0, 1000)

@@ -1,0 +1,144 @@
+"""Gauss-Jordan-on-MapReduce (the rejected design, measured) and the blocked
+triangular solvers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gauss_jordan_mr import gauss_jordan_mapreduce_invert
+from repro.linalg import (
+    blocked_back_substitute,
+    blocked_forward_substitute,
+    back_substitute,
+    forward_substitute,
+)
+from repro.mapreduce import MapReduceRuntime
+
+from conftest import random_invertible
+
+
+class TestGaussJordanMR:
+    @pytest.mark.parametrize("n, m0", [(8, 2), (20, 4), (33, 4)])
+    def test_inverse_correct(self, rng, n, m0):
+        a = random_invertible(rng, n)
+        res = gauss_jordan_mapreduce_invert(a, m0=m0)
+        assert np.allclose(res.inverse, np.linalg.inv(a), atol=1e-8)
+
+    def test_exactly_n_jobs(self, rng):
+        """Section 4.2's claim, measured: n sequential jobs."""
+        a = random_invertible(rng, 24)
+        res = gauss_jordan_mapreduce_invert(a, m0=4)
+        assert res.num_jobs == 24
+        assert len(res.record.job_results) == 24
+
+    def test_job_explosion_vs_block_lu(self, rng):
+        """The paper's core argument: at the same order, block LU needs
+        2^d + 1 jobs versus Gauss-Jordan's n."""
+        from repro import InversionConfig, invert
+
+        n = 32
+        a = random_invertible(rng, n)
+        gj = gauss_jordan_mapreduce_invert(a, m0=4)
+        blu = invert(a, InversionConfig(nb=8, m0=4))
+        assert gj.num_jobs == n
+        assert blu.num_jobs == 5
+        assert np.allclose(gj.inverse, blu.inverse, atol=1e-7)
+
+    def test_launch_overhead_dominates_gj_at_scale(self, rng):
+        """Replayed on a cluster with Hadoop's launch cost, Gauss-Jordan's
+        n-job pipeline loses to block LU even with identical arithmetic."""
+        from repro import InversionConfig, invert
+        from repro.cluster import ClusterSpec, ScaleFactors, simulate_record
+
+        n = 32
+        a = random_invertible(rng, n)
+        gj = gauss_jordan_mapreduce_invert(a, m0=4)
+        blu = invert(a, InversionConfig(nb=8, m0=4))
+        cluster = ClusterSpec(4)
+        scale = ScaleFactors.for_order(n, 4096)
+        t_gj = simulate_record(gj.record, cluster, scale).makespan
+        t_blu = simulate_record(blu.record, cluster, scale).makespan
+        assert t_gj > t_blu
+        # And at true paper scale the job count alone (n vs 2^d+1) decides:
+        # 16384 launches vs 9.
+        assert 16384 * cluster.job_launch_overhead > t_blu
+
+    def test_pivoting_within_slab(self, rng):
+        a = random_invertible(rng, 16)
+        a[0, 0] = 0.0  # needs a local pivot swap at step 0
+        res = gauss_jordan_mapreduce_invert(a, m0=4)
+        assert res.residual(a) < 1e-8
+
+    def test_singular_detected(self):
+        from repro.linalg import SingularMatrixError
+        from repro.mapreduce import JobFailedError
+
+        with pytest.raises((SingularMatrixError, JobFailedError)):
+            gauss_jordan_mapreduce_invert(np.ones((8, 8)), m0=2)
+
+    def test_shared_runtime_not_shut_down(self, rng):
+        rt = MapReduceRuntime()
+        a = random_invertible(rng, 12)
+        gauss_jordan_mapreduce_invert(a, runtime=rt, m0=2)
+        # Runtime still usable.
+        gauss_jordan_mapreduce_invert(a, runtime=rt, m0=2)
+        assert rt.jobs_run() == 24
+        rt.shutdown()
+
+
+class TestBlockedSolvers:
+    @pytest.mark.parametrize("n", [1, 5, 63, 64, 65, 200])
+    def test_forward_matches_row_kernel(self, rng, n):
+        l = np.tril(rng.standard_normal((n, n))) + 2 * np.eye(n)
+        b = rng.standard_normal((n, 3))
+        assert np.allclose(
+            blocked_forward_substitute(l, b, block=16), forward_substitute(l, b)
+        )
+
+    @pytest.mark.parametrize("n", [1, 63, 64, 130])
+    def test_back_matches_row_kernel(self, rng, n):
+        u = np.triu(rng.standard_normal((n, n))) + 2 * np.eye(n)
+        b = rng.standard_normal(n)
+        assert np.allclose(
+            blocked_back_substitute(u, b, block=16), back_substitute(u, b)
+        )
+
+    def test_unit_diagonal(self, rng):
+        # NB: random unit-lower matrices are exponentially ill-conditioned in
+        # n, so compare the two kernels against each other (identical
+        # arithmetic), not against the true solution.
+        n = 100
+        l = np.tril(rng.standard_normal((n, n)), k=-1) + np.eye(n)
+        b = rng.standard_normal((n, 2))
+        blocked = blocked_forward_substitute(l, b, unit_diagonal=True, block=32)
+        rowwise = forward_substitute(l, b, unit_diagonal=True)
+        assert np.allclose(blocked, rowwise, rtol=1e-8, atol=1e-8)
+
+    def test_solves_correctly(self, rng):
+        n = 150
+        l = np.tril(rng.standard_normal((n, n))) + 3 * np.eye(n)
+        x_true = rng.standard_normal(n)
+        assert np.allclose(
+            blocked_forward_substitute(l, l @ x_true), x_true, atol=1e-8
+        )
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            blocked_forward_substitute(np.eye(4), np.zeros(5))
+
+    def test_blocked_is_faster_on_many_rhs(self, rng):
+        """The BLAS-3 formulation wins on large triangular solves with many
+        right-hand sides (the guide's cache argument)."""
+        import timeit
+
+        n = 400
+        l = np.tril(rng.standard_normal((n, n))) + 3 * np.eye(n)
+        b = rng.standard_normal((n, n))
+        t_row = min(timeit.repeat(lambda: forward_substitute(l, b), number=1, repeat=4))
+        t_blk = min(
+            timeit.repeat(
+                lambda: blocked_forward_substitute(l, b, block=64), number=1, repeat=4
+            )
+        )
+        # Generous margin: timing on shared CI boxes is noisy; the blocked
+        # kernel should at minimum not be slower.
+        assert t_blk < t_row * 1.1

@@ -1,0 +1,178 @@
+"""Layout and factor-assembly internals."""
+
+import numpy as np
+import pytest
+
+from repro import InversionConfig
+from repro.inversion import MatrixInverter
+from repro.inversion.factors import perm_from_bytes, perm_to_bytes, read_lower, read_perm, read_upper
+from repro.inversion.layout import Layout, factor_paths
+from repro.inversion.plan import InversionPlan
+from repro.linalg import is_lower_triangular, is_upper_triangular, permutation
+from repro.mapreduce import MapReduceRuntime
+
+from conftest import random_invertible
+
+
+def make_layout(n=64, nb=16, m0=4, **flags):
+    cfg = InversionConfig(nb=nb, m0=m0, **flags)
+    plan = InversionPlan(n=n, nb=nb, m0=m0, root=cfg.root)
+    return Layout(plan, cfg, n)
+
+
+class TestLayoutStructure:
+    def test_all_nodes_present(self):
+        layout = make_layout()
+        plan_dirs = set()
+
+        def walk(node):
+            plan_dirs.add(node.dir)
+            if not node.is_leaf:
+                walk(node.child1)
+                walk(node.child2)
+
+        walk(layout.plan.tree)
+        assert plan_dirs == set(layout.by_dir)
+
+    def test_internal_input_node_regions_cover(self):
+        layout = make_layout()
+        root = layout.plan.tree
+        nl = layout.of(root)
+        assert nl.a2.covered() and nl.a3.covered() and nl.a4.covered()
+        assert nl.a2.rows == root.n1 and nl.a2.cols == root.n2
+        assert nl.a3.rows == root.n2 and nl.a3.cols == root.n1
+
+    def test_schur_node_regions_are_views_of_parent_out(self):
+        layout = make_layout()
+        root = layout.plan.tree
+        schur = root.child2
+        out_paths = set(layout.of(root).out.file_paths())
+        nl = layout.of(schur)
+        for region in (nl.a2, nl.a3, nl.a4):
+            assert set(region.file_paths()) <= out_paths
+
+    def test_mapper_row_ranges_cover_matrix(self):
+        layout = make_layout(n=100, m0=6)
+        ranges = layout.mapper_row_ranges()
+        assert ranges[0][0] == 0 and ranges[-1][1] == 100
+        assert len(ranges) == 6
+
+    def test_out_region_block_wrap_grid(self):
+        layout = make_layout(m0=8)  # f1=4, f2=2
+        nl = layout.of(layout.plan.tree)
+        assert nl.out.covered()
+        # Grid naming A.<j1>.<j2>.
+        assert any(p.endswith("/OUT/A.0.0") for p in nl.out.file_paths())
+
+    def test_out_region_naive_slabs(self):
+        layout = make_layout(block_wrap=False, m0=4)
+        nl = layout.of(layout.plan.tree)
+        assert nl.out.covered()
+        assert any(p.endswith("/OUT/A.0") for p in nl.out.file_paths())
+
+    def test_u2_transposed_flag_follows_config(self):
+        on = make_layout(transpose_u=True)
+        off = make_layout(transpose_u=False)
+        assert all(b.transposed for b in on.of(on.plan.tree).u2.blocks)
+        assert not any(b.transposed for b in off.of(off.plan.tree).u2.blocks)
+
+    def test_factor_paths_transpose_naming(self):
+        l, u, p = factor_paths("/Root", transpose_u=True)
+        assert u.endswith("ut.bin")
+        _, u2, _ = factor_paths("/Root", transpose_u=False)
+        assert u2.endswith("u.bin")
+
+    def test_leaf_matrix_region(self):
+        layout = make_layout(n=64, nb=16)
+        leaf = layout.plan.tree.leaves()[0]
+        nl = layout.of(leaf)
+        assert nl.matrix.covered()
+        assert nl.matrix.rows == leaf.n
+
+    def test_intermediate_file_count_matches_formula(self):
+        """Section 6.1's N(d) formula counts the L-side part files plus the
+        leaf factor files; the layout produces exactly m0/2 L2 files per
+        internal node and one l.bin per leaf."""
+        from repro.inversion.plan import intermediate_file_count
+
+        layout = make_layout(n=256, nb=16, m0=8)
+        tree = layout.plan.tree
+        l_files = sum(
+            len(layout.of(node).l2.file_paths()) for node in tree.internal_nodes()
+        )
+        leaf_files = len(tree.leaves())
+        assert l_files + leaf_files == intermediate_file_count(256, 16, 8)
+
+
+class TestFactorAssembly:
+    @pytest.fixture
+    def run(self, rng):
+        runtime = MapReduceRuntime()
+        cfg = InversionConfig(nb=16, m0=4)
+        inverter = MatrixInverter(config=cfg, runtime=runtime)
+        a = random_invertible(rng, 72)
+        factors = inverter.lu(a)
+        layout = factors.plan, factors
+
+        # Build a reader over the runtime's DFS.
+        class Reader:
+            def read_bytes(self, path):
+                return runtime.dfs.read_bytes(path)
+
+            def read_matrix(self, path):
+                from repro.dfs import formats
+
+                return formats.read_matrix(runtime.dfs, path)
+
+            def read_rows(self, path, r1, r2):
+                from repro.dfs import formats
+
+                return formats.read_rows(runtime.dfs, path, r1, r2)
+
+            def exists(self, path):
+                return runtime.dfs.exists(path)
+
+        inv_layout = Layout(factors.plan, cfg, 72)
+        yield a, factors, inv_layout, Reader()
+        runtime.shutdown()
+
+    def test_assembled_factors_triangular(self, run):
+        a, factors, layout, reader = run
+        lower = read_lower(layout, layout.plan.tree, reader)
+        upper = read_upper(layout, layout.plan.tree, reader)
+        assert is_lower_triangular(lower)
+        assert is_upper_triangular(upper)
+        assert np.allclose(np.diag(lower), 1.0)
+
+    def test_assembled_perm_valid(self, run):
+        a, factors, layout, reader = run
+        perm = read_perm(layout, layout.plan.tree, reader)
+        assert permutation.is_permutation(perm)
+
+    def test_assembly_matches_driver_output(self, run):
+        a, factors, layout, reader = run
+        assert np.array_equal(
+            read_lower(layout, layout.plan.tree, reader), factors.lower
+        )
+        assert np.array_equal(
+            read_upper(layout, layout.plan.tree, reader), factors.upper
+        )
+
+    def test_missing_leaf_factors_raise(self):
+        layout = make_layout(n=8, nb=16)  # single leaf
+
+        class Empty:
+            def exists(self, path):
+                return False
+
+        with pytest.raises(FileNotFoundError):
+            read_lower(layout, layout.plan.tree, Empty())
+
+
+class TestPermCodec:
+    def test_roundtrip(self, rng):
+        p = rng.permutation(17)
+        assert np.array_equal(perm_from_bytes(perm_to_bytes(p)), p)
+
+    def test_empty(self):
+        assert perm_from_bytes(perm_to_bytes(np.array([], dtype=np.int64))).size == 0

@@ -1,0 +1,139 @@
+"""Recursion plan: depths, job counts (Table 3), tree structure."""
+
+import pytest
+
+from repro.inversion.plan import (
+    InversionPlan,
+    build_tree,
+    depth,
+    intermediate_file_count,
+    is_full_tree,
+    lu_job_count,
+    split_order,
+    total_job_count,
+)
+
+
+class TestDepth:
+    @pytest.mark.parametrize(
+        "n, nb, expected",
+        [
+            (64, 64, 0),
+            (65, 64, 1),
+            (128, 64, 1),
+            (129, 64, 2),
+            (1024, 64, 4),
+            (20480, 3200, 3),
+            (32768, 3200, 4),
+            (40960, 3200, 4),
+            (102400, 3200, 5),
+            (16384, 3200, 3),
+        ],
+    )
+    def test_depths(self, n, nb, expected):
+        assert depth(n, nb) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            depth(0, 4)
+        with pytest.raises(ValueError):
+            depth(4, 0)
+
+
+class TestTable3JobCounts:
+    """Table 3's 'Number of Jobs' column, with nb = 3200 as in the paper."""
+
+    @pytest.mark.parametrize(
+        "name, n, jobs",
+        [
+            ("M1", 20480, 9),
+            ("M2", 32768, 17),
+            ("M3", 40960, 17),
+            ("M4", 102400, 33),
+            ("M5", 16384, 9),
+        ],
+    )
+    def test_paper_matrix_job_counts(self, name, n, jobs):
+        assert total_job_count(n, 3200) == jobs
+
+    def test_lu_jobs_formula(self):
+        assert lu_job_count(102400, 3200) == 31  # 2^5 - 1
+
+    def test_trivial_matrix_single_job(self):
+        assert total_job_count(100, 3200) == 1
+
+
+class TestFileCount:
+    def test_section61_example(self):
+        """n = 2^15, nb = 2^11, m0 = 64 => d = 4, N(d) = 496."""
+        assert depth(2**15, 2**11) == 4
+        assert intermediate_file_count(2**15, 2**11, 64) == 496
+
+    def test_leaf_only(self):
+        assert intermediate_file_count(10, 64, 8) == 1
+
+
+class TestSplit:
+    @pytest.mark.parametrize("n", [2, 3, 7, 100, 101])
+    def test_split_sums(self, n):
+        n1, n2 = split_order(n)
+        assert n1 + n2 == n
+        assert n1 >= n2 >= n1 - 1
+
+
+class TestTree:
+    def test_leaf_sizes_bounded(self):
+        tree = build_tree(1000, 64)
+        for leaf in tree.leaves():
+            assert leaf.n <= 64
+
+    def test_leaf_sizes_sum(self):
+        tree = build_tree(777, 50)
+        assert sum(l.n for l in tree.leaves()) == 777
+
+    def test_row_offsets_contiguous(self):
+        tree = build_tree(300, 40)
+        leaves = tree.leaves()
+        offset = 0
+        for leaf in leaves:
+            assert leaf.row0 == offset
+            offset += leaf.n
+
+    def test_inorder_runs_child1_before_node(self):
+        tree = build_tree(256, 64)
+        order = tree.internal_nodes()
+        seen = set()
+        for node in order:
+            if node.child1 is not None and not node.child1.is_leaf:
+                assert node.child1.dir in seen
+            seen.add(node.dir)
+
+    def test_directory_structure(self):
+        tree = build_tree(256, 64, "/Root")
+        assert tree.dir == "/Root"
+        assert tree.child1.dir == "/Root/A1"
+        assert tree.child2.dir == "/Root/OUT"
+        assert tree.child1.child1.dir == "/Root/A1/A1"
+
+    def test_kinds(self):
+        tree = build_tree(256, 64)
+        assert tree.kind == "input"
+        assert tree.child1.kind == "input"
+        assert tree.child2.kind == "schur"
+        assert tree.child2.child1.kind == "schur"
+
+    def test_full_tree_detection(self):
+        assert is_full_tree(1024, 64)
+        assert is_full_tree(100, 3200)
+        assert not is_full_tree(65, 16)  # some branches bottom out early
+
+    def test_full_tree_counts_exact(self):
+        plan = InversionPlan(n=1024, nb=64, m0=4)
+        plan.validate()
+        assert plan.num_lu_jobs == lu_job_count(1024, 64)
+        assert plan.num_jobs == total_job_count(1024, 64)
+
+    def test_ragged_tree_validates(self):
+        plan = InversionPlan(n=65, nb=16, m0=4)
+        plan.validate()
+        assert plan.num_lu_jobs <= lu_job_count(65, 16)

@@ -1,0 +1,43 @@
+"""Launch-overhead sensitivity experiment (the HaLoop discussion)."""
+
+import pytest
+
+from repro.experiments import ExperimentHarness, launch_overhead
+
+
+@pytest.fixture(scope="module")
+def result():
+    return launch_overhead.run(
+        matrix="M5",
+        overheads=(22.0, 0.0),
+        node_counts=(4, 16),
+        scale=128,
+        harness=ExperimentHarness(),
+    )
+
+
+class TestLaunchOverhead:
+    def test_cheaper_launches_are_faster(self, result):
+        slow = result.curve(22.0)
+        fast = result.curve(0.0)
+        for t_slow, t_fast in zip(slow.seconds, fast.seconds):
+            assert t_fast < t_slow
+
+    def test_gap_is_launch_cost_times_jobs(self, result):
+        """With everything else identical, the makespans differ by exactly
+        launch_overhead x number_of_jobs (M5: 9 jobs)."""
+        slow = result.curve(22.0)
+        fast = result.curve(0.0)
+        gap = slow.seconds[0] - fast.seconds[0]
+        assert gap == pytest.approx(22.0 * 9, rel=1e-6)
+
+    def test_efficiency_improves_without_pipeline_changes(self, result):
+        assert result.curve(0.0).efficiency_at_max() > result.curve(22.0).efficiency_at_max()
+
+    def test_unknown_overhead_lookup(self, result):
+        with pytest.raises(KeyError):
+            result.curve(5.0)
+
+    def test_format(self, result):
+        text = launch_overhead.format_result(result)
+        assert "HaLoop" in text and "efficiency" in text

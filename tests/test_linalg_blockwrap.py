@@ -1,0 +1,112 @@
+"""Block-wrap multiplication (Section 6.2) and its read-volume accounting."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.blockwrap import (
+    block_wrap_multiply,
+    block_wrap_read_elements,
+    contiguous_ranges,
+    factor_grid,
+    grid_block_multiply,
+    naive_multiply,
+    naive_read_elements,
+    strided_indices,
+)
+
+
+class TestFactorGrid:
+    @pytest.mark.parametrize(
+        "m0, expected",
+        [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (6, (3, 2)), (8, (4, 2)),
+         (12, (4, 3)), (16, (4, 4)), (36, (6, 6)), (64, (8, 8)), (7, (7, 1))],
+    )
+    def test_known_grids(self, m0, expected):
+        assert factor_grid(m0) == expected
+
+    def test_product_and_ordering(self):
+        for m0 in range(1, 200):
+            f1, f2 = factor_grid(m0)
+            assert f1 * f2 == m0
+            assert f2 <= f1
+            # No divisor strictly between f2 and f1 (paper's minimality).
+            for d in range(f2 + 1, f1):
+                assert m0 % d != 0 or m0 // d > f1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factor_grid(0)
+
+
+class TestRanges:
+    def test_contiguous_cover(self):
+        ranges = contiguous_ranges(10, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        for (a1, b1), (a2, _) in zip(ranges, ranges[1:]):
+            assert b1 == a2
+
+    def test_near_equal_sizes(self):
+        sizes = [b - a for a, b in contiguous_ranges(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items(self):
+        ranges = contiguous_ranges(2, 5)
+        assert sum(b - a for a, b in ranges) == 2
+
+    def test_strided_partition_covers(self):
+        n, parts = 23, 5
+        seen = np.concatenate([strided_indices(n, parts, p) for p in range(parts)])
+        assert sorted(seen.tolist()) == list(range(n))
+
+    def test_strided_out_of_range(self):
+        with pytest.raises(ValueError):
+            strided_indices(10, 4, 4)
+
+
+class TestMultiplies:
+    @pytest.mark.parametrize("scheme", [naive_multiply, block_wrap_multiply, grid_block_multiply])
+    @pytest.mark.parametrize("m0", [1, 2, 4, 6, 9])
+    def test_correct_product(self, rng, scheme, m0):
+        a = rng.standard_normal((12, 8))
+        b = rng.standard_normal((8, 10))
+        out, _ = scheme(a, b, m0)
+        assert np.allclose(out, a @ b)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            naive_multiply(rng.standard_normal((2, 3)), rng.standard_normal((4, 2)), 2)
+
+    def test_block_wrap_reads_less_than_naive(self, rng):
+        n, m0 = 64, 16
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        _, naive_stats = naive_multiply(a, b, m0)
+        _, wrap_stats = block_wrap_multiply(a, b, m0)
+        assert wrap_stats.total_elements_read < naive_stats.total_elements_read
+
+    def test_read_volumes_match_paper_formulas(self, rng):
+        """Section 6.2's example: 64 nodes, naive reads 65 n^2, block wrap
+        with f1 = f2 = 8 reads 16 n^2."""
+        n, m0 = 64, 64
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        _, naive_stats = naive_multiply(a, b, m0)
+        _, wrap_stats = block_wrap_multiply(a, b, m0)
+        assert naive_stats.total_elements_read == naive_read_elements(n, m0) == 65 * n * n
+        assert wrap_stats.total_elements_read == block_wrap_read_elements(n, m0) == 16 * n * n
+
+    def test_per_node_read_block_wrap(self, rng):
+        """Each of 64 nodes reads n^2/4 elements in the paper's example."""
+        n, m0 = 64, 64
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        _, stats = block_wrap_multiply(a, b, m0)
+        assert all(r == n * n // 4 for r in stats.per_node_elements_read)
+
+    def test_grid_block_balances_strided_work(self, rng):
+        n, m0 = 20, 4
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        _, stats = grid_block_multiply(a, b, m0)
+        assert len(stats.per_node_elements_read) == m0
+        assert max(stats.per_node_elements_read) - min(stats.per_node_elements_read) <= 2 * n

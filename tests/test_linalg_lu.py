@@ -1,0 +1,124 @@
+"""Single-node LU decomposition (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import lu_decompose, solve_lu
+from repro.linalg.lu import SingularMatrixError, lu_flop_count, lu_reconstruct
+from repro.linalg import permutation, verify
+
+from conftest import random_invertible
+
+
+class TestFactorization:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 17, 64])
+    def test_pa_equals_lu(self, rng, n):
+        a = random_invertible(rng, n)
+        res = lu_decompose(a)
+        assert verify.lu_residual(a, res.lower(), res.upper(), res.perm) < 1e-10
+
+    def test_factors_have_right_shape(self, rng):
+        a = random_invertible(rng, 8)
+        res = lu_decompose(a)
+        lower, upper = res.lower(), res.upper()
+        assert np.allclose(np.triu(lower, k=1), 0)
+        assert np.allclose(np.tril(upper, k=-1), 0)
+        assert np.allclose(np.diag(lower), 1.0)
+
+    def test_perm_is_permutation(self, rng):
+        a = random_invertible(rng, 20)
+        res = lu_decompose(a)
+        assert permutation.is_permutation(res.perm)
+
+    def test_input_not_modified(self, rng):
+        a = random_invertible(rng, 10)
+        copy = a.copy()
+        lu_decompose(a)
+        assert np.array_equal(a, copy)
+
+    def test_identity_factors_trivially(self):
+        res = lu_decompose(np.eye(5))
+        assert np.array_equal(res.lower(), np.eye(5))
+        assert np.array_equal(res.upper(), np.eye(5))
+        assert np.array_equal(res.perm, np.arange(5))
+
+    def test_already_triangular_input(self):
+        u = np.triu(np.arange(1.0, 17.0).reshape(4, 4)) + np.eye(4)
+        res = lu_decompose(u, pivot=False)
+        assert np.allclose(res.upper(), u)
+
+    def test_reconstruct_helper(self, rng):
+        a = random_invertible(rng, 6)
+        res = lu_decompose(a)
+        assert np.allclose(lu_reconstruct(res), permutation.apply_rows(res.perm, a))
+
+
+class TestPivoting:
+    def test_pivoting_selects_column_max(self):
+        a = np.array([[1e-12, 1.0], [1.0, 1.0]])
+        res = lu_decompose(a)
+        assert res.perm[0] == 1  # the big row was swapped up
+
+    def test_pivoting_rescues_zero_leading_element(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        res = lu_decompose(a)
+        assert verify.lu_residual(a, res.lower(), res.upper(), res.perm) == 0.0
+
+    def test_no_pivot_fails_on_zero_leading_element(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(SingularMatrixError):
+            lu_decompose(a, pivot=False)
+
+    def test_pivoting_improves_accuracy(self, rng):
+        """The numerical motivation of Section 4.1."""
+        n = 60
+        a = random_invertible(rng, n)
+        a[0, 0] = 1e-14  # poison the leading pivot
+        res_piv = lu_decompose(a, pivot=True)
+        res_nopiv = lu_decompose(a, pivot=False)
+        err_piv = verify.lu_residual(a, res_piv.lower(), res_piv.upper(), res_piv.perm)
+        err_nopiv = verify.lu_residual(
+            a, res_nopiv.lower(), res_nopiv.upper(), res_nopiv.perm
+        )
+        assert err_piv < err_nopiv / 1e3
+
+
+class TestErrors:
+    def test_singular_matrix_detected(self):
+        a = np.ones((4, 4))
+        with pytest.raises(SingularMatrixError):
+            lu_decompose(a)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            lu_decompose(rng.standard_normal((3, 4)))
+
+    def test_pivot_tol_treats_small_as_zero(self):
+        a = np.diag([1.0, 1e-20])
+        with pytest.raises(SingularMatrixError):
+            lu_decompose(a, pivot_tol=1e-12)
+
+
+class TestSolve:
+    def test_solve_single_rhs(self, rng):
+        a = random_invertible(rng, 12)
+        x_true = rng.standard_normal(12)
+        res = lu_decompose(a)
+        x = solve_lu(res, a @ x_true)
+        assert np.allclose(x, x_true)
+
+    def test_solve_multiple_rhs(self, rng):
+        a = random_invertible(rng, 10)
+        x_true = rng.standard_normal((10, 3))
+        res = lu_decompose(a)
+        x = solve_lu(res, a @ x_true)
+        assert np.allclose(x, x_true)
+
+
+class TestAccounting:
+    def test_flop_count(self):
+        assert lu_flop_count(10) == pytest.approx(1000 / 3)
+
+    def test_result_flops_matches_formula(self, rng):
+        res = lu_decompose(random_invertible(rng, 9))
+        assert res.flops() == lu_flop_count(9)

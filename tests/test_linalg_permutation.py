@@ -1,0 +1,82 @@
+"""Compact row-permutation arrays (the paper's S array)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import permutation as perm
+
+
+class TestBasics:
+    def test_identity(self):
+        assert np.array_equal(perm.identity(4), [0, 1, 2, 3])
+
+    def test_is_permutation_accepts(self):
+        assert perm.is_permutation(np.array([2, 0, 1]))
+
+    @pytest.mark.parametrize(
+        "bad", [[0, 0, 1], [0, 3, 1], [[0, 1]], [-1, 0]]
+    )
+    def test_is_permutation_rejects(self, bad):
+        assert not perm.is_permutation(np.array(bad))
+
+
+class TestApplication:
+    def test_apply_rows_matches_matrix_product(self, rng):
+        s = rng.permutation(6)
+        a = rng.standard_normal((6, 4))
+        assert np.allclose(perm.apply_rows(s, a), perm.to_matrix(s) @ a)
+
+    def test_apply_columns_matches_matrix_product(self, rng):
+        s = rng.permutation(5)
+        a = rng.standard_normal((3, 5))
+        assert np.allclose(perm.apply_columns(s, a), a @ perm.to_matrix(s))
+
+    def test_row_then_inverse_restores(self, rng):
+        s = rng.permutation(8)
+        a = rng.standard_normal((8, 8))
+        assert np.array_equal(
+            perm.apply_rows(perm.invert(s), perm.apply_rows(s, a)), a
+        )
+
+
+class TestAlgebra:
+    def test_invert(self, rng):
+        s = rng.permutation(10)
+        inv = perm.invert(s)
+        assert np.array_equal(inv[s], np.arange(10))
+        assert np.array_equal(s[inv], np.arange(10))
+
+    def test_compose_semantics(self, rng):
+        s1, s2 = rng.permutation(7), rng.permutation(7)
+        a = rng.standard_normal((7, 3))
+        lhs = perm.apply_rows(perm.compose(s2, s1), a)
+        rhs = perm.apply_rows(s2, perm.apply_rows(s1, a))
+        assert np.array_equal(lhs, rhs)
+
+    def test_augment_block_diagonal(self, rng):
+        p1, p2 = rng.permutation(3), rng.permutation(4)
+        s = perm.augment(p1, p2)
+        assert perm.is_permutation(s)
+        m = perm.to_matrix(s)
+        assert np.array_equal(m[:3, :3], perm.to_matrix(p1))
+        assert np.array_equal(m[3:, 3:], perm.to_matrix(p2))
+        assert np.all(m[:3, 3:] == 0) and np.all(m[3:, :3] == 0)
+
+    def test_to_matrix_orthogonal(self, rng):
+        s = rng.permutation(9)
+        m = perm.to_matrix(s)
+        assert np.allclose(m @ m.T, np.eye(9))
+
+
+class TestPaperIdentity:
+    def test_inverse_column_permutation(self, rng):
+        """The Section 4.3 identity A^-1 = U^-1 L^-1 P with P applied as a
+        column permutation of C = U^-1 L^-1."""
+        n = 12
+        a = rng.standard_normal((n, n)) + 0.1 * np.eye(n)
+        from repro.linalg import lu_decompose, invert_lower, invert_upper
+
+        res = lu_decompose(a)
+        c = invert_upper(res.upper()) @ invert_lower(res.lower())
+        a_inv = perm.apply_columns(res.perm, c)
+        assert np.allclose(a @ a_inv, np.eye(n), atol=1e-9)

@@ -1,0 +1,159 @@
+"""Triangular inversion (Equation 4) and substitution solvers."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.triangular import (
+    TriangularShapeError,
+    back_substitute,
+    forward_substitute,
+    invert_lower,
+    invert_lower_columns,
+    invert_upper,
+    invert_upper_rows,
+    is_lower_triangular,
+    is_upper_triangular,
+)
+
+
+def random_lower(rng, n, unit=False):
+    l = np.tril(rng.standard_normal((n, n)))
+    diag = np.ones(n) if unit else rng.uniform(0.5, 2.0, n) * np.sign(
+        rng.standard_normal(n)
+    )
+    np.fill_diagonal(l, diag)
+    return l
+
+
+class TestSubstitution:
+    @pytest.mark.parametrize("n", [1, 2, 7, 33])
+    def test_forward(self, rng, n):
+        l = random_lower(rng, n)
+        x_true = rng.standard_normal(n)
+        assert np.allclose(forward_substitute(l, l @ x_true), x_true)
+
+    def test_forward_unit_diagonal_ignores_diag_values(self, rng):
+        l = random_lower(rng, 6, unit=True)
+        x_true = rng.standard_normal(6)
+        x = forward_substitute(l, l @ x_true, unit_diagonal=True)
+        assert np.allclose(x, x_true)
+
+    def test_forward_matrix_rhs(self, rng):
+        l = random_lower(rng, 8)
+        x_true = rng.standard_normal((8, 4))
+        assert np.allclose(forward_substitute(l, l @ x_true), x_true)
+
+    @pytest.mark.parametrize("n", [1, 5, 21])
+    def test_back(self, rng, n):
+        u = random_lower(rng, n).T
+        x_true = rng.standard_normal(n)
+        assert np.allclose(back_substitute(u, u @ x_true), x_true)
+
+    def test_back_matrix_rhs(self, rng):
+        u = random_lower(rng, 6).T
+        x_true = rng.standard_normal((6, 2))
+        assert np.allclose(back_substitute(u, u @ x_true), x_true)
+
+    def test_shape_mismatch_rejected(self, rng):
+        l = random_lower(rng, 4)
+        with pytest.raises(ValueError, match="rows"):
+            forward_substitute(l, np.zeros(5))
+
+    def test_singular_diagonal_rejected(self):
+        l = np.array([[1.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(np.linalg.LinAlgError):
+            forward_substitute(l, np.ones(2))
+
+
+class TestLowerInverse:
+    @pytest.mark.parametrize("n", [1, 2, 9, 40])
+    def test_inverse(self, rng, n):
+        l = random_lower(rng, n)
+        linv = invert_lower(l)
+        assert np.allclose(l @ linv, np.eye(n), atol=1e-9)
+
+    def test_inverse_is_lower_triangular(self, rng):
+        linv = invert_lower(random_lower(rng, 12))
+        assert is_lower_triangular(linv, tol=1e-12)
+
+    def test_unit_lower_inverse_unit_diagonal(self, rng):
+        l = random_lower(rng, 10, unit=True)
+        linv = invert_lower(l)
+        assert np.allclose(np.diag(linv), 1.0)
+
+    def test_column_subset_matches_full(self, rng):
+        l = random_lower(rng, 15)
+        full = invert_lower(l)
+        cols = np.array([0, 3, 7, 14])
+        sub = invert_lower_columns(l, cols)
+        assert np.allclose(sub, full[:, cols])
+
+    def test_strided_columns_cover_matrix(self, rng):
+        """Reassembling all mappers' column shares gives the full inverse
+        (the final job's map-side decomposition, Section 5.4)."""
+        n, parts = 17, 4
+        l = random_lower(rng, n)
+        full = invert_lower(l)
+        assembled = np.zeros_like(full)
+        for p in range(parts):
+            cols = np.arange(p, n, parts)
+            assembled[:, cols] = invert_lower_columns(l, cols)
+        assert np.allclose(assembled, full)
+
+    def test_empty_column_set(self, rng):
+        out = invert_lower_columns(random_lower(rng, 5), [])
+        assert out.shape == (5, 0)
+
+    def test_column_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            invert_lower_columns(random_lower(rng, 5), [5])
+
+    def test_singular_rejected(self):
+        l = np.tril(np.ones((3, 3)))
+        l[1, 1] = 0.0
+        with pytest.raises(np.linalg.LinAlgError):
+            invert_lower(l)
+
+
+class TestUpperInverse:
+    @pytest.mark.parametrize("n", [1, 6, 25])
+    def test_inverse(self, rng, n):
+        u = random_lower(rng, n).T
+        uinv = invert_upper(u)
+        assert np.allclose(u @ uinv, np.eye(n), atol=1e-9)
+
+    def test_inverse_is_upper_triangular(self, rng):
+        uinv = invert_upper(random_lower(rng, 11).T)
+        assert is_upper_triangular(uinv, tol=1e-12)
+
+    def test_row_subset_matches_full(self, rng):
+        u = random_lower(rng, 13).T
+        full = invert_upper(u)
+        rows = np.array([1, 4, 12])
+        sub = invert_upper_rows(u, rows)
+        assert np.allclose(sub, full[rows])
+
+    def test_transpose_relation(self, rng):
+        """Section 6.3's identity: U^-1 = (invert_lower(U^T))^T."""
+        u = random_lower(rng, 9).T
+        assert np.allclose(invert_upper(u), invert_lower(u.T).T)
+
+
+class TestPredicates:
+    def test_is_lower(self):
+        assert is_lower_triangular(np.tril(np.ones((4, 4))))
+        assert not is_lower_triangular(np.ones((4, 4)))
+
+    def test_is_upper(self):
+        assert is_upper_triangular(np.triu(np.ones((4, 4))))
+        assert not is_upper_triangular(np.ones((4, 4)))
+
+    def test_tolerance(self):
+        m = np.tril(np.ones((3, 3)))
+        m[0, 2] = 1e-15
+        assert not is_lower_triangular(m)
+        assert is_lower_triangular(m, tol=1e-12)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(TriangularShapeError):
+            invert_lower(np.zeros((2, 3)))

@@ -1,0 +1,124 @@
+"""Property-based tests over the pipeline, plan, regions, and DFS."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import InversionConfig, invert
+from repro.dfs import DFS, formats
+from repro.inversion.plan import (
+    InversionPlan,
+    depth,
+    lu_job_count,
+    split_order,
+    total_job_count,
+)
+from repro.inversion.regions import BlockRef, Region
+
+
+class TestPlanProperties:
+    @given(st.integers(1, 10_000), st.integers(1, 512))
+    @settings(max_examples=200, deadline=None)
+    def test_depth_definition(self, n, nb):
+        d = depth(n, nb)
+        if n <= nb:
+            assert d == 0
+        else:
+            assert nb * 2 ** (d - 1) < n <= nb * 2**d
+
+    @given(st.integers(1, 5_000), st.integers(1, 256))
+    @settings(max_examples=100, deadline=None)
+    def test_tree_invariants(self, n, nb):
+        plan = InversionPlan(n=n, nb=nb, m0=4)
+        plan.validate()
+        leaves = plan.tree.leaves()
+        assert sum(l.n for l in leaves) == n
+        assert all(l.n <= nb for l in leaves)
+        assert plan.num_lu_jobs <= lu_job_count(n, nb)
+        # Leaves in row order.
+        offsets = [l.row0 for l in leaves]
+        assert offsets == sorted(offsets)
+
+    @given(st.integers(2, 100_000))
+    @settings(max_examples=100, deadline=None)
+    def test_split_near_half(self, n):
+        n1, n2 = split_order(n)
+        assert n1 + n2 == n and 0 <= n1 - n2 <= 1
+
+    @given(st.integers(1, 20_000), st.integers(1, 400))
+    @settings(max_examples=100, deadline=None)
+    def test_job_count_formula_consistency(self, n, nb):
+        if n <= nb:
+            assert total_job_count(n, nb) == 1
+        else:
+            assert total_job_count(n, nb) == lu_job_count(n, nb) + 2
+
+
+class TestRegionProperties:
+    @given(
+        st.integers(1, 20),
+        st.integers(1, 20),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sub_equals_numpy_slice(self, rows, cols, data):
+        """A region tiled by row chunks sliced arbitrarily equals the numpy
+        slice of the assembled matrix."""
+        dfs = DFS(num_datanodes=2, replication=1)
+        rng = np.random.default_rng(7)
+        m = rng.standard_normal((rows, cols))
+        chunk = data.draw(st.integers(1, rows))
+        refs = []
+        r = 0
+        i = 0
+        while r < rows:
+            r2 = min(r + chunk, rows)
+            path = f"/p/A.{i}"
+            formats.write_matrix(dfs, path, m[r:r2])
+            refs.append(
+                BlockRef(path, r, 0, r2 - r, cols, file_rows=r2 - r, file_cols=cols)
+            )
+            r, i = r2, i + 1
+        region = Region(rows, cols, tuple(refs))
+
+        r1 = data.draw(st.integers(0, rows))
+        r2 = data.draw(st.integers(r1, rows))
+        c1 = data.draw(st.integers(0, cols))
+        c2 = data.draw(st.integers(c1, cols))
+
+        class Reader:
+            def read_matrix(self, path):
+                return formats.read_matrix(dfs, path)
+
+            def read_rows(self, path, a, b):
+                return formats.read_rows(dfs, path, a, b)
+
+        sub = region.sub(r1, r2, c1, c2)
+        if sub.rows and sub.cols:
+            assert np.array_equal(sub.read(Reader()), m[r1:r2, c1:c2])
+        assert sub.covered()
+
+
+class TestDFSProperties:
+    @given(st.binary(max_size=5000), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_any_payload_any_blocksize(self, payload, block_size):
+        dfs = DFS(num_datanodes=3, replication=2, block_size=block_size)
+        dfs.write_bytes("/f", payload)
+        assert dfs.read_bytes("/f") == payload
+
+    @given(st.binary(max_size=2000), st.integers(0, 2200), st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_range_read_matches_python_slice(self, payload, offset, length):
+        dfs = DFS(block_size=128)
+        dfs.write_bytes("/f", payload)
+        assert dfs.read_range("/f", offset, length) == payload[offset : offset + length]
+
+
+class TestEndToEndProperty:
+    @given(st.integers(8, 40), st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_pipeline_inverts_random_matrices(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)) + 0.5 * np.eye(n)
+        res = invert(a, InversionConfig(nb=max(n // 4, 2), m0=4))
+        assert np.allclose(res.inverse @ a, np.eye(n), atol=1e-6)

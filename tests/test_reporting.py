@@ -1,0 +1,99 @@
+"""Report formatting helpers and the experiment harness plumbing."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentHarness, RunKey
+from repro.experiments.report import (
+    bytes_human,
+    format_series,
+    format_table,
+    seconds_human,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        # Column widths consistent across rows.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.5], [123456.0], [1e-7], [0.0]])
+        assert "0.5" in out
+        assert "1.235e+05" in out
+        assert "1.000e-07" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_bool_rendered_as_word(self):
+        out = format_table(["ok"], [[True]])
+        assert "True" in out
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        out = format_series("T", "x", [1, 2], {"s1": [10, 20], "s2": [30, 40]})
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "s1" in lines[1] and "s2" in lines[1]
+        assert "10" in lines[3] and "30" in lines[3]
+
+
+class TestHumanizers:
+    @pytest.mark.parametrize(
+        "seconds, expect",
+        [(5, "5.0 s"), (300, "5.0 min"), (7200, "2.00 h"), (5400, "90.0 min")],
+    )
+    def test_seconds(self, seconds, expect):
+        assert seconds_human(seconds) == expect
+
+    @pytest.mark.parametrize(
+        "n, expect",
+        [(500, "500 B"), (2_500, "2.50 KB"), (3e9, "3.00 GB"), (2.5e13, "25.00 TB")],
+    )
+    def test_bytes(self, n, expect):
+        assert bytes_human(n) == expect
+
+
+class TestHarnessCaching:
+    def test_identical_runs_cached(self):
+        h = ExperimentHarness()
+        first = h.run(32, 8, 4, seed=1)
+        second = h.run(32, 8, 4, seed=1)
+        assert first is second
+
+    def test_different_flags_not_shared(self):
+        h = ExperimentHarness()
+        a = h.run(32, 8, 4, seed=1)
+        b = h.run(32, 8, 4, seed=1, block_wrap=False)
+        assert a is not b
+
+    def test_fault_runs_never_cached(self):
+        from repro.mapreduce import FailOnce, TaskKind
+
+        h = ExperimentHarness()
+        policy = FailOnce(job_substring="invert", kind=TaskKind.MAP, task_index=0)
+        a = h.run(32, 8, 4, seed=1, fault_policy=policy)
+        b = h.run(32, 8, 4, seed=1)
+        assert a is not b
+
+    def test_run_key_hashable_identity(self):
+        k1 = RunKey(32, 8, 4, True, True, True, 0)
+        k2 = RunKey(32, 8, 4, True, True, True, 0)
+        assert k1 == k2 and hash(k1) == hash(k2)
+
+    def test_replay_uses_paper_order(self):
+        h = ExperimentHarness()
+        executed = h.run(32, 8, 4, seed=2)
+        small = h.replay(executed, num_nodes=4)
+        big = h.replay(executed, num_nodes=4, paper_n=3200)
+        assert big.makespan > small.makespan

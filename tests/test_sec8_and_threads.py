@@ -1,0 +1,58 @@
+"""The Section 8 experiment module and the threaded Spark executor."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentHarness, sec8_spark
+from repro.spark import SparkContext, SparkInversionConfig, SparkMatrixInverter
+
+
+class TestSec8Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sec8_spark.run(n=96, nb=24, chunks=4, harness=ExperimentHarness())
+
+    def test_read_reduction_is_large(self, result):
+        assert result.read_reduction > 10
+
+    def test_engines_agree(self, result):
+        assert result.agreement < 1e-9
+
+    def test_lineage_recovery_exercised(self, result):
+        assert result.lineage_recomputed >= 1
+
+    def test_format(self, result):
+        out = sec8_spark.format_result(result)
+        assert "Section 8" in out and "read reduction" in out
+
+
+class TestThreadedSparkExecutor:
+    def test_matches_serial(self, rng):
+        a = rng.random((80, 80)) + 0.1 * np.eye(80)
+        cfg = SparkInversionConfig(nb=20, chunks=4)
+        serial = SparkMatrixInverter(cfg, sc=SparkContext()).invert(a)
+        threaded = SparkMatrixInverter(
+            cfg, sc=SparkContext(default_parallelism=4, executor="threads")
+        ).invert(a)
+        assert np.allclose(serial.inverse, threaded.inverse)
+
+    def test_threaded_wordcount(self):
+        sc = SparkContext(default_parallelism=4, executor="threads")
+        counts = (
+            sc.parallelize([f"w{i % 7}" for i in range(200)], 8)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b, 4)
+            .collect_as_map()
+        )
+        assert sum(counts.values()) == 200
+
+    def test_threaded_cache_and_eviction(self):
+        sc = SparkContext(default_parallelism=4, executor="threads")
+        rdd = sc.range(100, 8).map(lambda x: x * 2).cache()
+        first = rdd.collect()
+        sc.evict(rdd, 3)
+        assert rdd.collect() == first
+
+    def test_invalid_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            SparkContext(executor="processes")

@@ -1,0 +1,127 @@
+"""SystemML-style distributed matrix operations."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import MapReduceRuntime
+from repro.systemml import MatrixOps, load_meta, read_matrix, save_matrix
+
+
+@pytest.fixture
+def rt():
+    runtime = MapReduceRuntime()
+    yield runtime
+    runtime.shutdown()
+
+
+@pytest.fixture
+def ops(rt):
+    return MatrixOps(rt, m0=4)
+
+
+def store(rt, name, m, chunks=3):
+    return save_matrix(rt.dfs, f"/mats/{name}", m, chunks=chunks)
+
+
+class TestStorage:
+    def test_save_read_roundtrip(self, rt, rng):
+        m = rng.standard_normal((11, 7))
+        h = store(rt, "A", m)
+        assert np.array_equal(read_matrix(rt.dfs, h), m)
+
+    def test_meta_roundtrip(self, rt, rng):
+        h = store(rt, "A", rng.standard_normal((5, 6)), chunks=2)
+        assert load_meta(rt.dfs, "/mats/A") == h
+
+    def test_more_chunks_than_rows(self, rt, rng):
+        m = rng.standard_normal((2, 3))
+        h = store(rt, "A", m, chunks=5)
+        assert np.array_equal(read_matrix(rt.dfs, h), m)
+
+    def test_non_2d_rejected(self, rt):
+        with pytest.raises(ValueError):
+            save_matrix(rt.dfs, "/mats/bad", np.zeros(4))
+
+
+class TestOps:
+    def test_transpose(self, rt, ops, rng):
+        m = rng.standard_normal((9, 13))
+        h = store(rt, "A", m)
+        out = ops.transpose(h, "/mats/At")
+        assert np.allclose(read_matrix(rt.dfs, out), m.T)
+        assert (out.rows, out.cols) == (13, 9)
+
+    def test_transpose_twice_is_identity(self, rt, ops, rng):
+        m = rng.standard_normal((6, 10))
+        h = store(rt, "A", m)
+        back = ops.transpose(ops.transpose(h, "/mats/t1"), "/mats/t2")
+        assert np.allclose(read_matrix(rt.dfs, back), m)
+
+    def test_add_and_subtract(self, rt, ops, rng):
+        a, b = rng.standard_normal((8, 5)), rng.standard_normal((8, 5))
+        ha, hb = store(rt, "A", a), store(rt, "B", b, chunks=2)
+        assert np.allclose(read_matrix(rt.dfs, ops.add(ha, hb, "/mats/s")), a + b)
+        diff = ops.add(ha, hb, "/mats/d", alpha=1.0, beta=-1.0)
+        assert np.allclose(read_matrix(rt.dfs, diff), a - b)
+
+    def test_add_shape_mismatch(self, rt, ops, rng):
+        ha = store(rt, "A", rng.standard_normal((4, 4)))
+        hb = store(rt, "B", rng.standard_normal((5, 4)))
+        with pytest.raises(ValueError):
+            ops.add(ha, hb, "/mats/x")
+
+    def test_scale(self, rt, ops, rng):
+        a = rng.standard_normal((7, 7))
+        h = store(rt, "A", a)
+        assert np.allclose(read_matrix(rt.dfs, ops.scale(h, 2.5, "/mats/s")), 2.5 * a)
+
+    def test_elementwise_divide(self, rt, ops, rng):
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((6, 4)) + 3.0
+        ha, hb = store(rt, "A", a), store(rt, "B", b)
+        assert np.allclose(
+            read_matrix(rt.dfs, ops.elementwise_divide(ha, hb, "/mats/q")), a / b
+        )
+
+    @pytest.mark.parametrize("shape_a, shape_b", [((12, 8), (8, 10)), ((5, 5), (5, 5)), ((3, 9), (9, 2))])
+    def test_multiply(self, rt, ops, rng, shape_a, shape_b):
+        a, b = rng.standard_normal(shape_a), rng.standard_normal(shape_b)
+        ha, hb = store(rt, "A", a), store(rt, "B", b, chunks=2)
+        out = ops.multiply(ha, hb, "/mats/AB")
+        assert np.allclose(read_matrix(rt.dfs, out), a @ b)
+
+    def test_multiply_inner_mismatch(self, rt, ops, rng):
+        ha = store(rt, "A", rng.standard_normal((4, 3)))
+        hb = store(rt, "B", rng.standard_normal((4, 3)))
+        with pytest.raises(ValueError):
+            ops.multiply(ha, hb, "/mats/x")
+
+    def test_frobenius_norm(self, rt, ops, rng):
+        a = rng.standard_normal((10, 6))
+        h = store(rt, "A", a)
+        assert ops.frobenius_norm(h) == pytest.approx(np.linalg.norm(a))
+
+
+class TestComposition:
+    def test_residual_check_composed_from_ops(self, rt, ops, rng):
+        """Section 7.2's I - M M^-1 built from the generic ops: multiply,
+        subtract from identity, norm — SystemML-style composition around the
+        pipeline's inverse."""
+        from repro import InversionConfig, invert
+
+        n = 24
+        a = rng.standard_normal((n, n)) + 0.1 * np.eye(n)
+        inverse = invert(a, InversionConfig(nb=8, m0=4), runtime=rt).inverse
+        ha = store(rt, "A", a)
+        hinv = store(rt, "Ainv", inverse)
+        hprod = ops.multiply(ha, hinv, "/mats/prod")
+        hident = store(rt, "I", np.eye(n))
+        hres = ops.add(hident, hprod, "/mats/res", alpha=1.0, beta=-1.0)
+        assert ops.frobenius_norm(hres) < 1e-9
+
+    def test_ops_report_flops(self, rt, ops, rng):
+        a = rng.standard_normal((16, 16))
+        ha = store(rt, "A", a)
+        ops.multiply(ha, ha, "/mats/sq")
+        mult_jobs = [j for j in rt.history if j.name.startswith("multiply:")]
+        assert sum(t.flops for j in mult_jobs for t in j.traces) == pytest.approx(16**3)

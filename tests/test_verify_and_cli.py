@@ -1,0 +1,95 @@
+"""Distributed verification job and the CLI entry point."""
+
+import numpy as np
+import pytest
+
+from repro import InversionConfig
+from repro.__main__ import main as cli_main
+from repro.inversion import MatrixInverter
+from repro.mapreduce import MapReduceRuntime
+
+from conftest import random_invertible
+
+
+class TestDistributedVerification:
+    def test_matches_driver_residual(self, rng):
+        a = random_invertible(rng, 80)
+        with MatrixInverter(InversionConfig(nb=20, m0=4)) as inv:
+            result = inv.invert(a)
+            distributed = inv.distributed_residual(result)
+        assert distributed == pytest.approx(result.residual(a), rel=1e-9)
+
+    def test_runs_as_mapreduce_job(self, rng):
+        a = random_invertible(rng, 48)
+        with MatrixInverter(InversionConfig(nb=16, m0=4)) as inv:
+            result = inv.invert(a)
+            inv.distributed_residual(result)
+            names = [j.name for j in result.record.job_results]
+        assert names[-1] == "verify-identity"
+
+    def test_detects_corrupted_inverse(self, rng):
+        """If a final block file is corrupted on the DFS, the distributed
+        check reports a large residual — it reads the DFS state, not the
+        driver's in-memory copy."""
+        from repro.dfs import formats
+
+        a = random_invertible(rng, 48)
+        runtime = MapReduceRuntime()
+        inv = MatrixInverter(InversionConfig(nb=16, m0=4), runtime=runtime)
+        result = inv.invert(a)
+        path = result.layout.final_path(0)
+        block = formats.read_matrix(runtime.dfs, path)
+        formats.write_matrix(runtime.dfs, path, block + 1.0)
+        assert inv.distributed_residual(result) > 0.5
+        runtime.shutdown()
+
+    def test_text_input_mode(self, rng):
+        a = random_invertible(rng, 40)
+        with MatrixInverter(InversionConfig(nb=16, m0=4, input_format="text")) as inv:
+            result = inv.invert(a)
+            assert inv.distributed_residual(result) < 1e-9
+
+
+class TestCLI:
+    def test_invert_command(self, capsys):
+        assert cli_main(["invert", "--n", "48", "--nb", "16", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs: 5" in out
+        assert "distributed residual" in out
+
+    def test_table_command(self, capsys):
+        assert cli_main(["table", "3"]) == 0
+        assert "M4" in capsys.readouterr().out
+
+    def test_figure_command(self, capsys):
+        assert cli_main(["figure", "8"]) == 0
+        assert "ScaLAPACK" in capsys.readouterr().out.replace("scalapack", "ScaLAPACK")
+
+    def test_unknown_artifact_rejected(self, capsys):
+        assert cli_main(["table", "9"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli_main([])
+
+
+class TestCLIDescribe:
+    def test_describe_paper_matrix(self, capsys):
+        assert cli_main(["describe", "--n", "20480"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=9" in out
+        assert "job schedule:" in out
+        assert out.count("lu:") == 7
+
+    def test_describe_leaf_only(self, capsys):
+        assert cli_main(["describe", "--n", "100", "--nb", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=1" in out
+
+    def test_section8_artifact(self, capsys):
+        assert cli_main(["section", "8"]) == 0
+        assert "Spark" in capsys.readouterr().out
+
+    def test_study_artifact(self, capsys):
+        assert cli_main(["study", "launch-overhead"]) == 0
+        assert "HaLoop" in capsys.readouterr().out

@@ -1,0 +1,121 @@
+"""Workload generators and the Table 3 suite."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BY_NAME,
+    PAPER_NB,
+    TABLE3,
+    diagonally_dominant,
+    get,
+    ill_conditioned,
+    needs_cross_block_pivot,
+    orthogonal,
+    random_dense,
+    random_gaussian,
+    singular_matrix,
+    symmetric_positive_definite,
+    tridiagonal,
+)
+
+
+class TestGenerators:
+    def test_random_dense_range_and_shape(self):
+        a = random_dense(32, seed=1)
+        assert a.shape == (32, 32)
+        assert np.all((a >= 0) & (a < 1))
+
+    def test_seeding_reproducible(self):
+        assert np.array_equal(random_dense(16, seed=5), random_dense(16, seed=5))
+        assert not np.array_equal(random_dense(16, seed=5), random_dense(16, seed=6))
+
+    def test_gaussian(self):
+        a = random_gaussian(64, seed=2)
+        assert abs(a.mean()) < 0.2
+
+    def test_spd_is_spd(self):
+        a = symmetric_positive_definite(24, seed=3)
+        assert np.allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_diagonally_dominant(self):
+        a = diagonally_dominant(20, seed=4)
+        off = np.sum(np.abs(a), axis=1) - np.abs(np.diag(a))
+        assert np.all(np.abs(np.diag(a)) > off)
+
+    def test_ill_conditioned_condition_number(self):
+        a = ill_conditioned(24, condition=1e8, seed=5)
+        assert np.linalg.cond(a) == pytest.approx(1e8, rel=0.01)
+
+    def test_singular_matrix_rank(self):
+        a = singular_matrix(16, rank_deficiency=3, seed=6)
+        assert np.linalg.matrix_rank(a) == 13
+
+    def test_singular_validation(self):
+        with pytest.raises(ValueError):
+            singular_matrix(4, rank_deficiency=0)
+
+    def test_orthogonal(self):
+        q = orthogonal(18, seed=7)
+        assert np.allclose(q @ q.T, np.eye(18), atol=1e-12)
+
+    def test_tridiagonal_bandwidth(self):
+        a = tridiagonal(12, seed=8)
+        assert np.allclose(np.triu(a, k=2), 0)
+        assert np.allclose(np.tril(a, k=-2), 0)
+        assert np.linalg.matrix_rank(a) == 12
+
+    def test_cross_block_pivot_matrix_is_invertible(self):
+        a = needs_cross_block_pivot(16)
+        assert np.linalg.matrix_rank(a) == 16
+        # but its leading half block is singular:
+        assert np.linalg.matrix_rank(a[:8, :8]) == 0
+
+
+class TestSuite:
+    def test_five_matrices(self):
+        assert len(TABLE3) == 5
+        assert set(BY_NAME) == {"M1", "M2", "M3", "M4", "M5"}
+
+    @pytest.mark.parametrize(
+        "name, order, jobs",
+        [("M1", 20480, 9), ("M2", 32768, 17), ("M3", 40960, 17),
+         ("M4", 102400, 33), ("M5", 16384, 9)],
+    )
+    def test_table3_columns(self, name, order, jobs):
+        m = get(name)
+        assert m.paper_order == order
+        assert m.jobs == jobs
+
+    def test_element_counts_match_paper(self):
+        # Table 3: 0.42, 1.07, 1.68, 10.49, 0.26 billion elements.
+        expect = {"M1": 0.42, "M2": 1.07, "M3": 1.68, "M4": 10.49, "M5": 0.27}
+        for name, val in expect.items():
+            assert get(name).elements_billion == pytest.approx(val, abs=0.01)
+
+    def test_binary_sizes_match_paper(self):
+        expect = {"M1": 3.2, "M2": 8, "M3": 12.5, "M4": 78.1, "M5": 2}
+        for name, val in expect.items():
+            assert get(name).binary_gb == pytest.approx(val, rel=0.03)
+
+    def test_scaled_orders_preserve_depth(self):
+        from repro.inversion.plan import depth
+
+        for m in TABLE3:
+            assert depth(m.order(64), m.nb(64)) == depth(m.paper_order, PAPER_NB)
+            assert depth(m.order(128), m.nb(128)) == depth(m.paper_order, PAPER_NB)
+
+    def test_generate_shape_and_determinism(self):
+        m = get("M5")
+        a = m.generate(scale=128)
+        assert a.shape == (128, 128)
+        assert np.array_equal(a, m.generate(scale=128))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get("M1").order(scale=7)
+
+    def test_unknown_matrix(self):
+        with pytest.raises(KeyError):
+            get("M9")

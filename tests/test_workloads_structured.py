@@ -1,0 +1,90 @@
+"""Structured matrix families and their behaviour through the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import InversionConfig, invert
+from repro.workloads import (
+    banded,
+    circulant,
+    hilbert,
+    laplacian_1d,
+    toeplitz,
+    vandermonde,
+)
+
+CFG = InversionConfig(nb=8, m0=4)
+
+
+class TestGenerators:
+    def test_hilbert_values(self):
+        h = hilbert(3)
+        assert h[0, 0] == 1.0
+        assert h[1, 2] == pytest.approx(1.0 / 4.0)
+        assert np.allclose(h, h.T)
+
+    def test_hilbert_condition_explodes(self):
+        assert np.linalg.cond(hilbert(10)) > 1e12
+
+    def test_toeplitz_structure(self):
+        t = toeplitz(np.array([1.0, 2.0, 3.0]), np.array([1.0, 9.0, 8.0]))
+        assert t[0, 0] == t[1, 1] == t[2, 2] == 1.0
+        assert t[1, 0] == t[2, 1] == 2.0
+        assert t[0, 1] == t[1, 2] == 9.0
+
+    def test_toeplitz_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            toeplitz(np.array([1.0, 2.0]), np.array([5.0, 2.0]))
+
+    def test_circulant_rotation(self):
+        c = circulant(np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(c[1], [3.0, 1.0, 2.0])
+        assert np.array_equal(c[2], [2.0, 3.0, 1.0])
+
+    def test_vandermonde(self):
+        v = vandermonde(np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(v[:, 2], [1.0, 4.0, 9.0])
+        assert np.linalg.matrix_rank(v) == 3
+
+    def test_banded_bandwidth(self):
+        a = banded(12, bandwidth=2, seed=1)
+        assert np.allclose(np.triu(a, k=3), 0)
+        assert np.allclose(np.tril(a, k=-3), 0)
+        assert np.linalg.matrix_rank(a) == 12
+
+    def test_laplacian_spd_and_condition(self):
+        l = laplacian_1d(16)
+        eigs = np.linalg.eigvalsh(l)
+        assert eigs[0] > 0
+        assert np.allclose(l.sum(axis=1)[1:-1], 0)
+
+
+class TestThroughPipeline:
+    def test_laplacian_inverse(self):
+        l = laplacian_1d(32)
+        res = invert(l, CFG)
+        assert res.residual(l) < 1e-10
+
+    def test_circulant_inverse_is_circulant(self):
+        rng = np.random.default_rng(3)
+        c = circulant(rng.uniform(1, 2, 24) + np.r_[10, np.zeros(23)])
+        res = invert(c, CFG)
+        inv = res.inverse
+        # The inverse of a circulant is circulant: row 1 is row 0 rotated.
+        assert np.allclose(inv[1], np.roll(inv[0], 1), atol=1e-9)
+
+    def test_banded_inverse_correct(self):
+        a = banded(40, bandwidth=3, seed=2)
+        res = invert(a, CFG)
+        assert np.allclose(res.inverse, np.linalg.inv(a), atol=1e-8)
+
+    def test_hilbert_inversion_degrades_like_lapack(self):
+        """For a condition-1e13 operator, the pipeline is no worse than
+        LAPACK in relative terms (and Newton-Schulz can polish it)."""
+        h = hilbert(10)
+        padded = np.eye(32)
+        padded[:10, :10] = h  # embed so the pipeline has blocks to split
+        res = invert(padded, CFG)
+        ref = np.linalg.inv(padded)
+        rel_pipeline = np.linalg.norm(res.inverse - ref) / np.linalg.norm(ref)
+        assert rel_pipeline < 1e-2  # both lose digits; neither explodes
