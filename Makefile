@@ -2,13 +2,32 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples coverage clean
+.PHONY: install test lint check bench experiments examples coverage clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis. The repro linter (plan dataflow + mapper/reducer purity)
+# needs only the runtime deps; ruff and mypy run when installed (dev extras)
+# and are skipped with a notice otherwise, so `make lint` works everywhere.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint --self-check
+	PYTHONPATH=src $(PYTHON) -m repro lint examples/*.py src/repro/experiments/*.py
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests examples; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+
+check: lint test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,6 +1,7 @@
 """Command-line entry point.
 
     python -m repro invert [--n N] [--nb NB] [--m0 M0] [--verify]
+    python -m repro lint [paths...] [--n N] [--nb NB] [--m0 M0] [--self-check]
     python -m repro experiments [--fast]
     python -m repro table <1|2|3> / figure <6|7|8> / section <7.2|7.4|7.5>
 """
@@ -81,6 +82,14 @@ def cmd_artifact(kind: str, args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # Dispatched before the main parser so every lint flag (and any
+        # future one) passes straight through to the analysis CLI.
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Scalable Matrix Inversion Using MapReduce (HPDC 2014) "
@@ -96,6 +105,15 @@ def main(argv: list[str] | None = None) -> int:
     p_inv.add_argument("--verify", action="store_true",
                        help="also run the distributed verification job")
     p_inv.set_defaults(fn=cmd_invert)
+
+    # Real dispatch happens above (pass-through); registered here so the
+    # subcommand shows up in --help.
+    sub.add_parser(
+        "lint",
+        help="statically validate pipelines without running them "
+        "(plan dataflow + mapper/reducer purity); see "
+        "python -m repro lint --help",
+    )
 
     p_exp = sub.add_parser("experiments", help="regenerate every table/figure")
     p_exp.add_argument("--fast", action="store_true")

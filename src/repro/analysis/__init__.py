@@ -1,0 +1,75 @@
+"""Static analysis of the predefined MapReduce pipeline.
+
+Because the paper's workflow is fully precomputable (Section 5: depth, job
+count ``2^d + 1``, and every intermediate DFS file are functions of
+``(n, nb, m0)`` alone), the entire dataflow can be validated *before* any
+task executes.  This package does exactly that:
+
+* :mod:`~repro.analysis.model` — the static dataflow model: every pipeline
+  step with its full DFS read/write set, computed without a runtime;
+* :mod:`~repro.analysis.planlint` — plan rules (``PL0xx``): job counts,
+  shape conformability, read-before-write, single-writer files, orphaned
+  intermediates, Section 6 optimization-flag consistency;
+* :mod:`~repro.analysis.purity` — mapper/reducer purity rules (``PU0xx``):
+  closure/global mutation, input mutation, nondeterministic APIs — the
+  hazard classes that break task retries and speculative execution;
+* :mod:`~repro.analysis.cli` — ``python -m repro lint``.
+
+The driver runs :func:`preflight_check` before each pipeline (opt out with
+``InversionConfig(preflight=False)``).
+"""
+
+from .cli import lint_pipeline, lint_source_file
+from .findings import (
+    RULES,
+    Finding,
+    PreflightError,
+    RuleSpec,
+    Severity,
+    filter_ignored,
+    has_errors,
+    max_severity,
+    render_json,
+    render_text,
+)
+from .model import PipelineModel, StepModel, build_model
+from .planlint import lint_model, lint_plan
+from .purity import analyze_callable, analyze_job, analyze_source
+
+__all__ = [
+    "Finding",
+    "PipelineModel",
+    "PreflightError",
+    "RULES",
+    "RuleSpec",
+    "Severity",
+    "StepModel",
+    "analyze_callable",
+    "analyze_job",
+    "analyze_source",
+    "build_model",
+    "filter_ignored",
+    "has_errors",
+    "lint_model",
+    "lint_pipeline",
+    "lint_plan",
+    "lint_source_file",
+    "max_severity",
+    "preflight_check",
+    "render_json",
+    "render_text",
+]
+
+
+def preflight_check(n: int, config=None) -> "PipelineModel":
+    """Validate a pipeline before running it; raise on error findings.
+
+    Runs both analyzers (plan dataflow + task purity) for an order-``n``
+    inversion under ``config`` and raises :class:`PreflightError` if any
+    error-severity finding is produced.  Returns the validated model so the
+    caller can reuse the precomputation.
+    """
+    findings, model = lint_pipeline(n, config)
+    if has_errors(findings):
+        raise PreflightError(findings)
+    return model

@@ -1,0 +1,333 @@
+"""Static dataflow model of the inversion pipeline.
+
+Section 5's structural claim — "the number of jobs in the pipeline and the
+data movement between the jobs can be precisely determined before the start
+of the computation" — means the *entire* read/write set of every step is a
+pure function of ``(n, config)``.  :func:`build_model` computes it: the same
+step sequence the driver executes (master input write, partition job,
+in-order LU walk with master-side leaf decompositions, final inversion job,
+master output collection), with each MapReduce job split into its map and
+reduce phases so that intra-job dataflow (mappers write ``L2``/``U2``,
+reducers read them) is modeled too.
+
+Nothing here touches a runtime or a DFS; the model exists so
+:mod:`repro.analysis.planlint` can validate the dataflow ahead of execution,
+and so tests can corrupt a model (drop a write, break the grid) and assert
+the linter catches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..inversion.config import InversionConfig
+from ..inversion.layout import Layout
+from ..inversion.plan import InversionPlan, PlanNode
+
+
+@dataclass
+class StepModel:
+    """One step of the predefined pipeline with its full DFS read/write set.
+
+    ``kind`` is ``"master"`` for serial master-node phases, ``"map"`` /
+    ``"reduce"`` for the two phases of a MapReduce job; ``job`` names the
+    job a map/reduce phase belongs to (``None`` for master phases), so the
+    model's job count is ``len({s.job for s in steps if s.job})``.
+    """
+
+    name: str
+    kind: str
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    job: str | None = None
+
+
+@dataclass
+class PipelineModel:
+    """The precomputed pipeline of one inversion, ready for linting.
+
+    Mutable by design: tests (and the ``--self-check`` mode) corrupt a model
+    — remove a write, change :attr:`grid` — and assert the linter reports
+    the seeded defect.
+    """
+
+    config: InversionConfig
+    plan: InversionPlan
+    layout: Layout
+    grid: tuple[int, int]
+    steps: list[StepModel]
+
+    @property
+    def n(self) -> int:
+        return self.plan.n
+
+    @property
+    def job_names(self) -> list[str]:
+        """Distinct job names in launch order."""
+        seen: dict[str, None] = {}
+        for step in self.steps:
+            if step.job is not None:
+                seen.setdefault(step.job, None)
+        return list(seen)
+
+    @property
+    def job_count(self) -> int:
+        return len(self.job_names)
+
+    def all_writes(self) -> set[str]:
+        out: set[str] = set()
+        for step in self.steps:
+            out |= step.writes
+        return out
+
+    def find_step(self, name: str) -> StepModel:
+        for step in self.steps:
+            if step.name == name:
+                return step
+        raise KeyError(name)
+
+
+def _combined(node: PlanNode, config: InversionConfig) -> bool:
+    """True when ``node``'s factors live in single combined files — always
+    for leaves (the master writes them), and for internal nodes when the
+    Section 6.1 separate-files optimization is off (a combine step merges
+    them)."""
+    return node.is_leaf or not config.separate_files
+
+
+def lower_read_paths(layout: Layout, node: PlanNode) -> set[str]:
+    """Every path :func:`repro.inversion.factors.read_lower` touches."""
+    nl = layout.of(node)
+    if _combined(node, layout.config):
+        return {nl.l_path}
+    assert node.child1 is not None and node.child2 is not None
+    assert nl.l2 is not None
+    return (
+        lower_read_paths(layout, node.child1)
+        | set(nl.l2.file_paths())
+        | perm_read_paths(layout, node.child2)
+        | lower_read_paths(layout, node.child2)
+    )
+
+
+def upper_read_paths(layout: Layout, node: PlanNode) -> set[str]:
+    """Every path :func:`repro.inversion.factors.read_upper` touches."""
+    nl = layout.of(node)
+    if _combined(node, layout.config):
+        return {nl.u_path}
+    assert node.child1 is not None and node.child2 is not None
+    assert nl.u2 is not None
+    return (
+        upper_read_paths(layout, node.child1)
+        | set(nl.u2.file_paths())
+        | upper_read_paths(layout, node.child2)
+    )
+
+
+def perm_read_paths(layout: Layout, node: PlanNode) -> set[str]:
+    """Every path :func:`repro.inversion.factors.read_perm` touches."""
+    nl = layout.of(node)
+    if _combined(node, layout.config):
+        return {nl.p_path}
+    assert node.child1 is not None and node.child2 is not None
+    return perm_read_paths(layout, node.child1) | perm_read_paths(
+        layout, node.child2
+    )
+
+
+def factor_read_paths(layout: Layout, node: PlanNode) -> set[str]:
+    """Union of the L, U, and P read sets of ``node``."""
+    return (
+        lower_read_paths(layout, node)
+        | upper_read_paths(layout, node)
+        | perm_read_paths(layout, node)
+    )
+
+
+def _control_paths(layout: Layout) -> set[str]:
+    """Section 5.1's ``MapInput/A.<j>`` control files (read by every job)."""
+    return {layout.map_input_path(j) for j in range(layout.config.m0)}
+
+
+def _invert_writes(layout: Layout) -> tuple[set[str], set[str]]:
+    """(mapper writes, reducer writes) of the final inversion job."""
+    from ..inversion.invert_job import reducer_indices
+
+    cfg = layout.config
+    n = layout.plan.tree.n
+    map_writes = {layout.inv_l_path(j) for j in range(cfg.mhalf)} | {
+        layout.inv_u_path(i) for i in range(cfg.m0 - cfg.mhalf)
+    }
+    reduce_writes: set[str] = set()
+    for p in range(cfg.m0):
+        rows, cols = reducer_indices(layout, p, n)
+        if rows.size and cols.size:
+            reduce_writes.add(layout.final_path(p))
+    return map_writes, reduce_writes
+
+
+def _decompose_steps(
+    layout: Layout, node: PlanNode, steps: list[StepModel]
+) -> None:
+    """Algorithm 2's in-order walk, mirrored as model steps."""
+    cfg = layout.config
+    nl = layout.of(node)
+    if node.is_leaf:
+        if node is layout.plan.tree:
+            # Single-leaf plan: no partition job ran; the master reads the
+            # input file directly.
+            reads = {layout.input_path}
+        else:
+            assert nl.matrix is not None
+            reads = set(nl.matrix.file_paths())
+        steps.append(
+            StepModel(
+                name=f"master-lu:{node.dir}",
+                kind="master",
+                reads=reads,
+                writes={nl.l_path, nl.u_path, nl.p_path},
+            )
+        )
+        return
+
+    assert node.child1 is not None and node.child2 is not None
+    assert nl.a2 is not None and nl.a3 is not None and nl.a4 is not None
+    assert nl.l2 is not None and nl.u2 is not None and nl.out is not None
+    _decompose_steps(layout, node.child1, steps)
+    job = f"lu:{node.dir}"
+    # Map phase (Figure 5): L-side mappers solve L2' U1 = A3 reading U1 and
+    # A3; U-side mappers solve L1 U2 = P1 A2 reading L1, P1, and A2.
+    steps.append(
+        StepModel(
+            name=f"{job}[map]",
+            kind="map",
+            job=job,
+            reads=(
+                _control_paths(layout)
+                | factor_read_paths(layout, node.child1)
+                | set(nl.a3.file_paths())
+                | set(nl.a2.file_paths())
+            ),
+            writes=set(nl.l2.file_paths()) | set(nl.u2.file_paths()),
+        )
+    )
+    # Reduce phase: each reducer's block-wrap cell of B = A4 - L2' U2.
+    steps.append(
+        StepModel(
+            name=f"{job}[reduce]",
+            kind="reduce",
+            job=job,
+            reads=(
+                set(nl.l2.file_paths())
+                | set(nl.u2.file_paths())
+                | set(nl.a4.file_paths())
+            ),
+            writes=set(nl.out.file_paths()),
+        )
+    )
+    _decompose_steps(layout, node.child2, steps)
+
+    if not cfg.separate_files:
+        # Section 6.1 ablation: the master serially combines the factors.
+        steps.append(
+            StepModel(
+                name=f"combine:{node.dir}",
+                kind="master",
+                reads=(
+                    factor_read_paths(layout, node.child1)
+                    | set(nl.l2.file_paths())
+                    | set(nl.u2.file_paths())
+                    | factor_read_paths(layout, node.child2)
+                ),
+                writes={nl.l_path, nl.u_path, nl.p_path},
+            )
+        )
+
+
+def build_model(
+    n: int, config: InversionConfig | None = None
+) -> PipelineModel:
+    """Compute the full pipeline model for an order-``n`` inversion.
+
+    Pure precomputation — mirrors :meth:`MatrixInverter.invert` step for
+    step but touches no runtime, no DFS, and no matrix data.
+    """
+    cfg = config or InversionConfig()
+    plan = InversionPlan(n=n, nb=cfg.nb, m0=cfg.m0, root=cfg.root)
+    layout = Layout(plan, cfg, n)
+    tree = plan.tree
+    steps: list[StepModel] = []
+
+    # Step 1 (Section 5.1): the master writes the input and control files.
+    steps.append(
+        StepModel(
+            name="write-input",
+            kind="master",
+            writes={layout.input_path} | _control_paths(layout),
+        )
+    )
+
+    # Step 2 (Algorithm 3): the map-only partition job.
+    if not tree.is_leaf:
+        partition_writes: set[str] = set()
+        for node in tree.input_nodes():
+            nl = layout.of(node)
+            if node.is_leaf:
+                assert nl.matrix is not None
+                partition_writes |= set(nl.matrix.file_paths())
+            else:
+                assert nl.a2 is not None and nl.a3 is not None
+                assert nl.a4 is not None
+                partition_writes |= set(nl.a2.file_paths())
+                partition_writes |= set(nl.a3.file_paths())
+                partition_writes |= set(nl.a4.file_paths())
+        steps.append(
+            StepModel(
+                name="partition[map]",
+                kind="map",
+                job="partition",
+                reads={layout.input_path} | _control_paths(layout),
+                writes=partition_writes,
+            )
+        )
+
+    # Step 3 (Algorithm 2): the LU recursion.
+    _decompose_steps(layout, tree, steps)
+
+    # Step 4 (Section 5.4): the final inversion job.
+    map_writes, reduce_writes = _invert_writes(layout)
+    steps.append(
+        StepModel(
+            name="invert-final[map]",
+            kind="map",
+            job="invert-final",
+            reads=(
+                _control_paths(layout)
+                | lower_read_paths(layout, tree)
+                | upper_read_paths(layout, tree)
+            ),
+            writes=map_writes,
+        )
+    )
+    steps.append(
+        StepModel(
+            name="invert-final[reduce]",
+            kind="reduce",
+            job="invert-final",
+            reads=set(map_writes),
+            writes=reduce_writes,
+        )
+    )
+
+    # Step 5: the master assembles A^-1 (pivot permutation applied).
+    steps.append(
+        StepModel(
+            name="collect-output",
+            kind="master",
+            reads=set(reduce_writes) | perm_read_paths(layout, tree),
+        )
+    )
+
+    return PipelineModel(
+        config=cfg, plan=plan, layout=layout, grid=cfg.grid, steps=steps
+    )

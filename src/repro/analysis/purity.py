@@ -1,0 +1,611 @@
+"""Mapper/reducer purity checker.
+
+The simulated runtime (like Hadoop) re-executes tasks: failed attempts are
+retried, speculative copies race the originals, and Section 6.1's
+"separate HDFS files, never combined on the master" rule exists precisely
+because concurrent workers must not share mutable state.  A map/reduce
+callable is therefore only safe if it is *pure up to its declared I/O*: no
+mutation of closure or global state, no mutation of its inputs, no
+nondeterministic APIs (a retried task must write byte-identical output).
+
+This module inspects task callables ahead of execution, via
+``inspect.getsource`` + ``ast`` for live objects and plain ``ast`` for source
+files:
+
+``PU001``  source unavailable (builtin / C-implemented callable) — INFO;
+``PU002``  nondeterministic API call (``random``, ``time.time``,
+           ``os.urandom``, unseeded ``default_rng`` ...);
+``PU003``  mutation of closure or global state shared across tasks;
+``PU004``  mutation of a task input argument;
+``PU005``  instance attribute assigned inside ``map``/``reduce`` — WARNING.
+
+Suppressions: append ``# lint: ignore[PU002]`` (or a bare
+``# lint: ignore``) to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import linecache
+import re
+import textwrap
+from typing import Any, Callable, Iterable
+
+from ..mapreduce.job import FnMapper, FnReducer, JobConf, Mapper, Reducer
+from .findings import Finding
+
+#: Method names whose call mutates the receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear",
+        "add", "discard", "update", "setdefault", "popitem",
+        "sort", "reverse", "fill", "itemset", "resize", "put",
+    }
+)
+
+#: Exact dotted calls that are nondeterministic.
+_NONDET_EXACT = frozenset(
+    {
+        "os.urandom", "time.time", "time.time_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+        "uuid.uuid1", "uuid.uuid4",
+    }
+)
+
+#: Bare names (``from x import y`` style) that are nondeterministic.
+_NONDET_BARE = frozenset(
+    {
+        "urandom", "uuid1", "uuid4", "getrandbits", "randbytes",
+        "token_bytes", "token_hex", "perf_counter", "monotonic",
+    }
+)
+
+#: Parameter names that are the sanctioned task API, not data inputs.
+_API_PARAMS = frozenset({"self", "cls", "ctx", "context"})
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """Leftmost Name of an attribute/subscript chain (``a`` in ``a.b[0].c``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_nondet_call(call: ast.Call) -> str | None:
+    """A human-readable description when ``call`` is nondeterministic."""
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    leaf = parts[-1]
+    if leaf == "default_rng" or leaf == "Generator":
+        if not call.args and not call.keywords:
+            return f"{dotted}() without a seed"
+        return None
+    if leaf == "seed":
+        return None  # explicit seeding is the fix, not the defect
+    if parts[0] in ("random", "secrets"):
+        return f"{dotted}()"
+    if "random" in parts[:-1]:  # np.random.*, numpy.random.*
+        return f"{dotted}()"
+    if dotted in _NONDET_EXACT:
+        return f"{dotted}()"
+    if len(parts) == 1 and leaf in _NONDET_BARE:
+        return f"{leaf}()"
+    if len(parts) == 1 and leaf == "time":
+        return "time()"
+    return None
+
+
+class _CollectLocals(ast.NodeVisitor):
+    """Pre-pass: every name the function binds locally (params included)."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.names.add(node.id)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.names.add(node.name)  # nested def binds its name; skip its body
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.names.add(node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+class _TaskBodyVisitor(ast.NodeVisitor):
+    """Walk one task function body collecting purity findings."""
+
+    def __init__(
+        self,
+        *,
+        qualname: str,
+        filename: str,
+        line_offset: int,
+        input_params: set[str],
+        local_names: set[str],
+        self_name: str | None,
+        check_self_state: bool,
+    ) -> None:
+        self.qualname = qualname
+        self.filename = filename
+        self.line_offset = line_offset
+        self.input_params = input_params
+        self.local_names = local_names
+        self.self_name = self_name
+        self.check_self_state = check_self_state
+        self.declared_shared: set[str] = set()  # global / nonlocal names
+        self.findings: list[Finding] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def _loc(self, node: ast.AST) -> str:
+        line = getattr(node, "lineno", 1) + self.line_offset
+        return f"{self.filename}:{line}"
+
+    def _emit(self, rule: str, message: str, node: ast.AST, hint: str = "") -> None:
+        self.findings.append(
+            Finding.of(
+                rule,
+                f"{self.qualname}: {message}",
+                location=self._loc(node),
+                hint=hint,
+            )
+        )
+
+    def _classify_root(self, target: ast.AST, node: ast.AST, what: str) -> None:
+        """Report mutation of ``target`` according to who owns its root."""
+        root = _root_name(target)
+        if root is None:
+            return
+        if root == self.self_name or root in ("self", "cls"):
+            if self.check_self_state:
+                self._emit(
+                    "PU005",
+                    f"{what} mutates instance state ({root}.…)",
+                    node,
+                    hint="task instances are rebuilt per attempt; carried "
+                    "state diverges under retries and speculation",
+                )
+            return
+        if root in _API_PARAMS:
+            return
+        if root in self.input_params:
+            self._emit(
+                "PU004",
+                f"{what} mutates input argument {root!r}",
+                node,
+                hint="inputs may be shared with other attempts of the same "
+                "task; copy before modifying",
+            )
+            return
+        if root in self.declared_shared or root not in self.local_names:
+            self._emit(
+                "PU003",
+                f"{what} mutates shared state {root!r} captured from an "
+                "enclosing scope",
+                node,
+                hint="emit through the context or write to a task-private "
+                "DFS path instead (Section 6.1's separate-files rule)",
+            )
+
+    # -- visitors ------------------------------------------------------------
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.declared_shared.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.declared_shared.update(node.names)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        desc = _is_nondet_call(node)
+        if desc is not None:
+            self._emit(
+                "PU002",
+                f"calls {desc}",
+                node,
+                hint="retried/speculative attempts must produce identical "
+                "output; derive randomness from a seed in the split or "
+                "job params",
+            )
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _MUTATORS:
+            self._classify_root(
+                node.func.value, node, f"call to .{node.func.attr}()"
+            )
+        self.generic_visit(node)
+
+    def _visit_targets(self, targets: Iterable[ast.AST], node: ast.AST) -> None:
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                self._visit_targets(target.elts, node)
+            elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._classify_root(target, node, "assignment")
+            elif isinstance(target, ast.Name):
+                if target.id in self.declared_shared:
+                    self._emit(
+                        "PU003",
+                        f"assignment rebinds shared name {target.id!r} "
+                        "(global/nonlocal)",
+                        node,
+                        hint="emit through the context instead of writing "
+                        "to enclosing scopes",
+                    )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._visit_targets(node.targets, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._visit_targets([node.target], node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._visit_targets([node.target], node)
+        self.generic_visit(node)
+
+
+def _function_findings(
+    func_node: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    qualname: str,
+    filename: str,
+    line_offset: int = 0,
+    check_self_state: bool,
+) -> list[Finding]:
+    """Analyze one function AST node."""
+    arg_names = [a.arg for a in func_node.args.args]
+    arg_names += [a.arg for a in func_node.args.posonlyargs]
+    arg_names += [a.arg for a in func_node.args.kwonlyargs]
+    self_name = (
+        arg_names[0]
+        if arg_names and arg_names[0] in ("self", "cls")
+        else None
+    )
+    input_params = {a for a in arg_names if a not in _API_PARAMS}
+
+    locals_pass = _CollectLocals()
+    for stmt in func_node.body:
+        locals_pass.visit(stmt)
+    local_names = locals_pass.names | set(arg_names)
+
+    visitor = _TaskBodyVisitor(
+        qualname=qualname,
+        filename=filename,
+        line_offset=line_offset,
+        input_params=input_params,
+        local_names=local_names,
+        self_name=self_name,
+        check_self_state=check_self_state,
+    )
+    for stmt in func_node.body:
+        visitor.visit(stmt)
+    return visitor.findings
+
+
+def _lambda_findings(
+    lam: ast.Lambda,
+    *,
+    qualname: str,
+    filename: str,
+    line_offset: int = 0,
+) -> list[Finding]:
+    """Analyze one lambda AST node (no statements, so no locals pre-pass)."""
+    arg_names = [
+        a.arg
+        for a in (*lam.args.posonlyargs, *lam.args.args, *lam.args.kwonlyargs)
+    ]
+    visitor = _TaskBodyVisitor(
+        qualname=qualname,
+        filename=filename,
+        line_offset=line_offset,
+        input_params={a for a in arg_names if a not in _API_PARAMS},
+        local_names=set(arg_names),
+        self_name=None,
+        check_self_state=False,
+    )
+    visitor.visit(lam.body)
+    return visitor.findings
+
+
+def _suppressed(finding: Finding) -> bool:
+    """Honour ``# lint: ignore[...]`` on the finding's source line."""
+    if ":" not in finding.location:
+        return False
+    filename, _, lineno = finding.location.rpartition(":")
+    if not lineno.isdigit():
+        return False
+    line = linecache.getline(filename, int(lineno))
+    return _line_suppresses(line, finding.rule)
+
+
+def _line_suppresses(line: str, rule: str) -> bool:
+    match = _IGNORE_RE.search(line)
+    if not match:
+        return False
+    rules = match.group(1)
+    if rules is None:
+        return True
+    return rule in {r.strip().upper() for r in rules.split(",")}
+
+
+# One analysis per code object: factories recreate task instances per call,
+# but the underlying functions (and their findings) are identical.
+_CODE_CACHE: dict[Any, tuple[Finding, ...]] = {}
+
+
+def _analyze_function_obj(
+    fn: Callable[..., Any], *, check_self_state: bool
+) -> list[Finding]:
+    code = getattr(fn, "__code__", None)
+    key = (code, check_self_state)
+    if code is not None and key in _CODE_CACHE:
+        return list(_CODE_CACHE[key])
+    qualname = getattr(fn, "__qualname__", repr(fn))
+    try:
+        source = inspect.getsource(fn)
+        filename = inspect.getsourcefile(fn) or "<unknown>"
+        _, base_line = inspect.getsourcelines(fn)
+    except (OSError, TypeError):
+        return [
+            Finding.of(
+                "PU001",
+                f"{qualname}: source unavailable; cannot verify purity",
+                location=qualname,
+                hint="built-in or C-implemented callables are assumed pure",
+            )
+        ]
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError:
+        return [
+            Finding.of(
+                "PU001",
+                f"{qualname}: source does not parse standalone",
+                location=filename,
+            )
+        ]
+    func_node = next(
+        (
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ),
+        None,
+    )
+    if func_node is not None:
+        findings = _function_findings(
+            func_node,
+            qualname=qualname,
+            filename=filename,
+            line_offset=base_line - func_node.lineno,
+            check_self_state=check_self_state,
+        )
+    else:
+        # A lambda: getsource returns the whole enclosing statement, so pick
+        # the lambda node matching the code object's line and arity.
+        lambdas = [n for n in ast.walk(tree) if isinstance(n, ast.Lambda)]
+        if code is not None and lambdas:
+            on_line = [
+                n for n in lambdas
+                if n.lineno == code.co_firstlineno - base_line + 1
+            ]
+            lambdas = on_line or lambdas
+            by_arity = [
+                n for n in lambdas
+                if len(n.args.posonlyargs) + len(n.args.args) == code.co_argcount
+            ]
+            lambdas = by_arity or lambdas
+        if not lambdas:
+            return [
+                Finding.of(
+                    "PU001",
+                    f"{qualname}: cannot locate the function in its source "
+                    "statement; cannot verify purity",
+                    location=filename,
+                )
+            ]
+        findings = _lambda_findings(
+            lambdas[0],
+            qualname=qualname,
+            filename=filename,
+            line_offset=base_line - 1,
+        )
+    findings = [f for f in findings if not _suppressed(f)]
+    if code is not None:
+        _CODE_CACHE[key] = tuple(findings)
+    return findings
+
+
+def _overridden_methods(obj: Mapper | Reducer) -> list[tuple[str, Callable[..., Any]]]:
+    """(name, function) for task methods the class actually overrides."""
+    base = Mapper if isinstance(obj, Mapper) else Reducer
+    out: list[tuple[str, Callable[..., Any]]] = []
+    for name in ("setup", "map", "map_record", "reduce", "cleanup"):
+        fn = getattr(type(obj), name, None)
+        if fn is None or getattr(base, name, None) is fn:
+            continue
+        out.append((name, fn))
+    return out
+
+
+def analyze_callable(obj: Any) -> list[Finding]:
+    """Purity findings for one task callable.
+
+    Accepts a :class:`Mapper`/:class:`Reducer` instance (every overridden
+    task method is analyzed), an :class:`FnMapper`/:class:`FnReducer`
+    (the wrapped function is analyzed), or a plain function.
+    """
+    if isinstance(obj, (FnMapper, FnReducer)):
+        return _analyze_function_obj(obj._fn, check_self_state=False)
+    if isinstance(obj, (Mapper, Reducer)):
+        findings: list[Finding] = []
+        for name, fn in _overridden_methods(obj):
+            findings.extend(
+                _analyze_function_obj(
+                    fn,
+                    # setup/cleanup legitimately build per-task state.
+                    check_self_state=name in ("map", "map_record", "reduce"),
+                )
+            )
+        return findings
+    if callable(obj):
+        return _analyze_function_obj(obj, check_self_state=False)
+    raise TypeError(f"not a task callable: {obj!r}")
+
+
+def analyze_job(conf: JobConf) -> list[Finding]:
+    """Purity findings for one job's mapper (and reducer, if any)."""
+    findings: list[Finding] = []
+    for factory in (conf.mapper_factory, conf.reducer_factory):
+        if factory is None:
+            continue
+        try:
+            task = factory()
+        except Exception as exc:  # pragma: no cover - defensive
+            findings.append(
+                Finding.of(
+                    "PU001",
+                    f"job {conf.name!r}: task factory raised {exc!r}; "
+                    "cannot analyze",
+                    location=conf.name,
+                )
+            )
+            continue
+        findings.extend(analyze_callable(task))
+    # The same class serves many jobs; drop exact duplicates.
+    seen: set[tuple[str, str, str]] = set()
+    unique: list[Finding] = []
+    for f in findings:
+        key = (f.rule, f.message, f.location)
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+# -- source-file analysis (no imports executed) ---------------------------------
+
+
+def _class_is_task(node: ast.ClassDef) -> bool:
+    base_names = {b.id if isinstance(b, ast.Name) else getattr(b, "attr", "") for b in node.bases}
+    if any("Mapper" in b or "Reducer" in b for b in base_names):
+        return True
+    methods = {
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return bool(methods & {"map", "map_record", "reduce"})
+
+
+def analyze_source(text: str, filename: str = "<string>") -> list[Finding]:
+    """Purity findings for every task callable defined in a source file.
+
+    Analyzes (a) methods of classes that look like mappers/reducers
+    (subclass naming or a ``map``/``map_record``/``reduce`` method) and
+    (b) functions passed to ``FnMapper``/``FnReducer`` anywhere in the file.
+    Driver-side code is deliberately not checked: seeding generators or
+    timing on the master is fine — only task bodies must be pure.
+    """
+    try:
+        tree = ast.parse(text, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Finding.of(
+                "PU001",
+                f"{filename} does not parse: {exc.msg} (line {exc.lineno})",
+                location=f"{filename}:{exc.lineno or 1}",
+            )
+        ]
+    lines = text.splitlines()
+    findings: list[Finding] = []
+
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.setdefault(node.name, node)
+
+    analyzed: set[ast.AST] = set()
+
+    def run(
+        func_node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        *,
+        check_self_state: bool,
+    ) -> None:
+        if func_node in analyzed:
+            return
+        analyzed.add(func_node)
+        findings.extend(
+            _function_findings(
+                func_node,
+                qualname=qualname,
+                filename=filename,
+                check_self_state=check_self_state,
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and _class_is_task(node):
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name in ("map", "map_record", "reduce", "setup", "cleanup"):
+                    run(
+                        stmt,
+                        f"{node.name}.{stmt.name}",
+                        check_self_state=stmt.name
+                        in ("map", "map_record", "reduce"),
+                    )
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            callee_name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else getattr(callee, "attr", "")
+            )
+            if callee_name in ("FnMapper", "FnReducer") and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Name) and arg.id in functions:
+                    run(functions[arg.id], arg.id, check_self_state=False)
+                elif isinstance(arg, ast.Lambda):
+                    findings.extend(
+                        _lambda_findings(
+                            arg,
+                            qualname=f"<lambda:{arg.lineno}>",
+                            filename=filename,
+                        )
+                    )
+
+    def keep(f: Finding) -> bool:
+        _, _, lineno = f.location.rpartition(":")
+        if lineno.isdigit() and 1 <= int(lineno) <= len(lines):
+            return not _line_suppresses(lines[int(lineno) - 1], f.rule)
+        return True
+
+    return [f for f in findings if keep(f)]

@@ -42,6 +42,12 @@ class InversionConfig:
     input_format:
         "binary" (default) or "text" — Table 3 reports both sizes; text
         reproduces the paper's a.txt ingestion.
+    preflight:
+        Statically validate the pipeline before running it (plan/dataflow
+        linter + mapper/reducer purity checker, :mod:`repro.analysis`).
+        The whole workflow is predefined (Section 5), so every defect the
+        pre-flight catches would otherwise be a deep runtime failure.
+        On by default; opt out for deliberately corrupted ablation runs.
     """
 
     nb: int = 64
@@ -52,6 +58,7 @@ class InversionConfig:
     pivot: bool = True
     root: str = "/Root"
     input_format: str = "binary"
+    preflight: bool = True
 
     def __post_init__(self) -> None:
         if self.nb < 1:

@@ -164,6 +164,37 @@ class MatrixInverter:
 
     # -- plumbing ---------------------------------------------------------------
 
+    def _plan_and_layout(self, n: int) -> tuple[InversionPlan, Layout]:
+        """Precompute the pipeline for order ``n`` — statically validated by
+        the :mod:`repro.analysis` pre-flight unless ``config.preflight`` is
+        off (raises :class:`~repro.analysis.PreflightError` on defects)."""
+        cfg = self.config
+        if cfg.preflight:
+            from ..analysis import preflight_check
+
+            model = preflight_check(n, cfg)
+            model.plan.validate()
+            return model.plan, model.layout
+        plan = InversionPlan(n=n, nb=cfg.nb, m0=cfg.m0, root=cfg.root)
+        plan.validate()
+        return plan, Layout(plan, cfg, n)
+
+    def _job_validators(self):
+        """Pre-run checks applied to every job the pipeline launches."""
+        if not self.config.preflight:
+            return []
+        from ..analysis import PreflightError, analyze_job, has_errors
+
+        def check_purity(conf) -> None:
+            findings = analyze_job(conf)
+            if has_errors(findings):
+                raise PreflightError(findings)
+
+        return [check_purity]
+
+    def _pipeline(self) -> Pipeline:
+        return Pipeline(self.runtime, validators=self._job_validators())
+
     def _prepare(
         self, a: np.ndarray, *, resume: bool = False
     ) -> tuple[Layout, Pipeline, MasterIO]:
@@ -172,9 +203,7 @@ class MatrixInverter:
             raise ValueError(f"matrix must be square, got shape {a.shape}")
         n = a.shape[0]
         cfg = self.config
-        plan = InversionPlan(n=n, nb=cfg.nb, m0=cfg.m0, root=cfg.root)
-        plan.validate()
-        layout = Layout(plan, cfg, n)
+        plan, layout = self._plan_and_layout(n)
         dfs = self.runtime.dfs
         if resume and dfs.exists(layout.input_path):
             # Resuming a previous run of the same matrix: keep the DFS state
@@ -186,12 +215,12 @@ class MatrixInverter:
                         f"cannot resume: stored input is {stored}, new input "
                         f"is {(n, n)}"
                     )
-            return layout, Pipeline(self.runtime), MasterIO(dfs)
+            return layout, self._pipeline(), MasterIO(dfs)
         if dfs.exists(cfg.root):
             dfs.delete(cfg.root, recursive=True)
 
         master = MasterIO(dfs)
-        pipeline = Pipeline(self.runtime)
+        pipeline = self._pipeline()
 
         # Step 1 (Section 5.1): master writes the input and control files.
         def write_inputs() -> None:
@@ -367,15 +396,13 @@ class MatrixInverter:
         cfg = self.config
         if cfg.input_format != "binary":
             raise ValueError("invert_path requires binary input_format")
-        plan = InversionPlan(n=rows, nb=cfg.nb, m0=cfg.m0, root=cfg.root)
-        plan.validate()
-        layout = Layout(plan, cfg, rows)
+        plan, layout = self._plan_and_layout(rows)
         if dfs.exists(cfg.root):
             dfs.delete(cfg.root, recursive=True)
 
         before = dfs.stats.snapshot()
         master = MasterIO(dfs)
-        pipeline = Pipeline(self.runtime)
+        pipeline = self._pipeline()
 
         def link_inputs() -> None:
             # Copy the matrix into the work directory (HDFS has no hardlinks;

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from .job import JobConf
 from .runtime import MapReduceRuntime
@@ -63,13 +63,26 @@ class PipelineRecord:
 
 
 class Pipeline:
-    """Thin driver that runs jobs / master phases and records them in order."""
+    """Thin driver that runs jobs / master phases and records them in order.
 
-    def __init__(self, runtime: MapReduceRuntime) -> None:
+    ``validators`` are pre-run checks applied to every :class:`JobConf`
+    before it launches — the hook the inversion driver uses to run the
+    :mod:`repro.analysis` purity checker over each job's mapper/reducer
+    ahead of execution.  A validator signals a defect by raising.
+    """
+
+    def __init__(
+        self,
+        runtime: MapReduceRuntime,
+        validators: Sequence[Callable[[JobConf], None]] = (),
+    ) -> None:
         self.runtime = runtime
+        self.validators: list[Callable[[JobConf], None]] = list(validators)
         self.record = PipelineRecord()
 
     def run_job(self, conf: JobConf) -> JobResult:
+        for validate in self.validators:
+            validate(conf)
         result = self.runtime.run_job(conf)
         self.record.steps.append(result)
         return result

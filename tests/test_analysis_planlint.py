@@ -1,0 +1,251 @@
+"""Plan/dataflow linter: clean pipelines pass, seeded defects are caught.
+
+The acceptance contract: on an intact ``n=4096, nb=512`` plan the linter
+reports zero error findings and confirms the ``2^d + 1`` job count without
+executing a single job; each deliberately seeded defect (dropped
+intermediate write, double-write, wrong job count, broken ``f1*f2 == m0``
+grid, flipped transpose flag) produces the expected rule id.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InversionConfig
+from repro.analysis import (
+    PreflightError,
+    Severity,
+    build_model,
+    has_errors,
+    lint_model,
+    lint_pipeline,
+    lint_plan,
+    preflight_check,
+    render_json,
+    render_text,
+)
+from repro.analysis.cli import main as lint_main
+from repro.inversion.plan import intermediate_file_count, total_job_count
+from repro.inversion.regions import Region
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}
+
+
+# -- clean pipelines ---------------------------------------------------------------
+
+
+def test_intact_4096_512_plan_is_clean():
+    """The ISSUE's acceptance case: static validation, no job execution."""
+    findings, model = lint_pipeline(4096, InversionConfig(nb=512))
+    assert findings == []
+    assert model.plan.depth == 3
+    assert model.job_count == total_job_count(4096, 512) == 2**3 + 1 == 9
+    assert model.job_names == model.plan.job_schedule()
+
+
+@pytest.mark.parametrize(
+    "n, config",
+    [
+        (256, InversionConfig(nb=64)),
+        (256, InversionConfig(nb=64, separate_files=False)),
+        (256, InversionConfig(nb=64, transpose_u=False)),
+        (256, InversionConfig(nb=64, block_wrap=False)),
+        (250, InversionConfig(nb=64, m0=2)),   # odd order, minimal cluster
+        (300, InversionConfig(nb=64, m0=6)),   # non-square grid (3, 2)
+        (48, InversionConfig(nb=64)),          # single-leaf plan
+        (129, InversionConfig(nb=32)),         # non-full tree
+    ],
+)
+def test_clean_configurations_produce_no_findings(n, config):
+    findings, model = lint_pipeline(n, config)
+    assert findings == [], render_text(findings)
+    assert model.job_names == model.plan.job_schedule()
+
+
+def test_model_counts_intermediate_files_like_section_61():
+    """The model's separate factor-file count equals N(d) exactly."""
+    config = InversionConfig(nb=64, m0=4)
+    model = build_model(512, config)
+    # d = 3: N(d) = 2^3 + 2 * (2^3 - 1) = 22 part files.
+    assert intermediate_file_count(512, 64, 4) == 22
+    assert lint_model(model) == []
+
+
+# -- seeded defects ----------------------------------------------------------------
+
+
+def seeded_model():
+    return build_model(512, InversionConfig(nb=64))
+
+
+def test_dropped_intermediate_write_is_pl003():
+    model = seeded_model()
+    step = model.find_step("lu:/Root[reduce]")
+    dropped = sorted(step.writes)[0]
+    step.writes.discard(dropped)
+    findings = lint_model(model)
+    assert "PL003" in rule_ids(findings)
+    assert any(dropped in f.message for f in findings if f.rule == "PL003")
+
+
+def test_dropped_l2_write_also_breaks_nd_count():
+    model = seeded_model()
+    step = model.find_step("lu:/Root[map]")
+    l2_path = sorted(p for p in step.writes if "/L2/" in p)[0]
+    step.writes.discard(l2_path)
+    ids = rule_ids(lint_model(model))
+    assert "PL003" in ids  # the reduce phase reads it
+    assert "PL008" in ids  # and the Section 6.1 count no longer matches
+
+
+def test_double_write_is_pl004():
+    model = seeded_model()
+    model.find_step("partition[map]").writes.add(model.layout.input_path)
+    assert "PL004" in rule_ids(lint_model(model))
+
+
+def test_missing_final_job_is_pl001():
+    model = seeded_model()
+    model.steps = [s for s in model.steps if s.job != "invert-final"]
+    assert "PL001" in rule_ids(lint_model(model))
+
+
+def test_bad_grid_factorization_is_pl007():
+    model = seeded_model()
+    model.grid = (3, 3)  # 9 != m0 = 4
+    findings = [f for f in lint_model(model) if f.rule == "PL007"]
+    assert findings and findings[0].severity == Severity.ERROR
+
+
+def test_flipped_transpose_flag_is_pl006():
+    model = seeded_model()
+    model.config = model.config.with_overrides(transpose_u=False)
+    assert "PL006" in rule_ids(lint_model(model))
+
+
+def test_orphaned_intermediate_is_pl005():
+    model = seeded_model()
+    model.find_step("partition[map]").writes.add("/Root/junk/never_read")
+    findings = [f for f in lint_model(model) if f.rule == "PL005"]
+    assert len(findings) == 1
+    assert "/Root/junk/never_read" in findings[0].message
+    assert findings[0].severity == Severity.WARNING
+
+
+def test_misshaped_region_is_pl002():
+    model = seeded_model()
+    tree = model.plan.tree
+    nl = model.layout.of(tree)
+    # A3 must be n2 x n1 for L2' U1 = A3 to be conformable.
+    nl.a3 = Region(tree.n2, tree.n1 + 1, ())
+    assert "PL002" in rule_ids(lint_model(model))
+
+
+# -- pre-flight integration ---------------------------------------------------------
+
+
+def test_preflight_check_returns_validated_model():
+    model = preflight_check(256, InversionConfig(nb=64))
+    assert model.job_count == 5
+
+
+def test_preflight_error_carries_findings():
+    model = seeded_model()
+    model.grid = (3, 3)
+    findings = lint_model(model)
+    err = PreflightError(findings)
+    assert "PL007" in str(err)
+    assert err.findings == findings
+
+
+def test_pipeline_validators_run_before_the_job():
+    from repro.mapreduce import (
+        FnMapper,
+        JobConf,
+        MapReduceRuntime,
+        Pipeline,
+        splits_for_workers,
+    )
+
+    seen = []
+
+    def validator(conf):
+        seen.append(conf.name)
+        raise PreflightError([])
+
+    runtime = MapReduceRuntime()
+    try:
+        pipeline = Pipeline(runtime, validators=[validator])
+        conf = JobConf(
+            name="guarded",
+            mapper_factory=lambda: FnMapper(lambda ctx, split: None),
+            splits=splits_for_workers(2),
+        )
+        with pytest.raises(PreflightError):
+            pipeline.run_job(conf)
+        assert seen == ["guarded"]
+        assert pipeline.record.num_jobs == 0  # rejected before launch
+    finally:
+        runtime.shutdown()
+
+
+def test_driver_preflight_can_be_disabled():
+    import numpy as np
+
+    from repro.inversion import MatrixInverter
+
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((32, 32)) + 32 * np.eye(32)
+    with MatrixInverter(InversionConfig(nb=8, preflight=False)) as inverter:
+        result = inverter.invert(a)
+    assert result.residual(a) < 1e-8
+
+
+# -- rendering and CLI --------------------------------------------------------------
+
+
+def test_render_text_and_json_roundtrip():
+    model = seeded_model()
+    model.grid = (3, 3)
+    findings = lint_model(model)
+    text = render_text(findings)
+    assert "PL007" in text and "error" in text
+    import json
+
+    payload = json.loads(render_json(findings))
+    assert payload[0]["rule"] == "PL007"
+    assert payload[0]["severity"] == "error"
+
+
+def test_cli_plan_mode_exit_codes(capsys):
+    assert lint_main(["--n", "4096", "--nb", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "9 jobs" in out and "2^d + 1 = 9" in out
+    # m0 must be even: configuration rejected before linting.
+    assert lint_main(["--n", "256", "--nb", "64", "--m0", "3"]) == 2
+    assert lint_main(["--n", "0", "--nb", "64"]) == 2
+    assert lint_main(["/nonexistent/pipeline.py"]) == 2
+
+
+def test_cli_self_check_passes(capsys):
+    assert lint_main(["--self-check"]) == 0
+    assert "self-check OK" in capsys.readouterr().out
+
+
+def test_cli_json_mode(capsys):
+    assert lint_main(["--n", "256", "--nb", "64", "--json"]) == 0
+    import json
+
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_has_errors_and_ignore():
+    model = seeded_model()
+    model.grid = (3, 3)
+    findings = lint_model(model)
+    assert has_errors(findings)
+    from repro.analysis import filter_ignored
+
+    assert not has_errors(filter_ignored(findings, ["PL007"]))

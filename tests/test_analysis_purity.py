@@ -1,0 +1,293 @@
+"""Mapper/reducer purity checker: clean tasks pass, stateful ones are flagged.
+
+Covers the AST analysis of live callables (``analyze_callable`` /
+``analyze_job``), source-file analysis (``analyze_source``), graceful
+degradation when source is unavailable, and both suppression mechanisms.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro import InversionConfig
+from repro.analysis import (
+    Severity,
+    analyze_callable,
+    analyze_job,
+    analyze_source,
+    has_errors,
+)
+from repro.analysis.cli import main as lint_main, pipeline_job_confs
+from repro.analysis.model import build_model
+from repro.mapreduce import FnMapper, FnReducer, Mapper, Reducer
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}
+
+
+# -- the repo's own pipeline jobs are pure ------------------------------------------
+
+
+def test_every_inversion_pipeline_job_is_pure():
+    model = build_model(256, InversionConfig(nb=64))
+    for conf in pipeline_job_confs(model.layout):
+        findings = analyze_job(conf)
+        assert not has_errors(findings), (conf.name, findings)
+
+
+# -- clean callables ----------------------------------------------------------------
+
+
+def test_pure_function_mapper_passes():
+    def emit(ctx, split):
+        ctx.emit(split.index, split.index * 2)
+
+    assert analyze_callable(FnMapper(emit)) == []
+
+
+def test_seeded_generator_is_allowed():
+    def mapper(ctx, split):
+        rng = np.random.default_rng(split.index)
+        ctx.emit(0, rng.standard_normal(4))
+
+    assert analyze_callable(FnMapper(mapper)) == []
+
+
+# -- impure callables ---------------------------------------------------------------
+
+
+def test_closure_mutation_is_pu003():
+    acc = []
+
+    def mapper(ctx, split):
+        acc.append(split.index)
+
+    findings = analyze_callable(FnMapper(mapper))
+    assert rule_ids(findings) == {"PU003"}
+    assert findings[0].severity == Severity.ERROR
+    assert "acc" in findings[0].message
+
+
+def test_input_mutation_is_pu004():
+    def mapper(ctx, record):
+        record["seen"] = True
+        ctx.emit(0, record)
+
+    assert "PU004" in rule_ids(analyze_callable(FnMapper(mapper)))
+
+
+def test_nondeterministic_calls_are_pu002():
+    def mapper(ctx, split):
+        ctx.emit(0, random.random() + time.time())
+
+    findings = analyze_callable(FnMapper(mapper))
+    assert rule_ids(findings) == {"PU002"}
+    assert len(findings) == 2  # one per call site
+
+
+def test_unseeded_generator_is_pu002():
+    def mapper(ctx, split):
+        rng = np.random.default_rng()
+        ctx.emit(0, rng.standard_normal(4))
+
+    assert "PU002" in rule_ids(analyze_callable(FnMapper(mapper)))
+
+
+def test_os_urandom_is_pu002():
+    def mapper(ctx, split):
+        ctx.emit(0, os.urandom(8))
+
+    assert "PU002" in rule_ids(analyze_callable(FnMapper(mapper)))
+
+
+def test_stateful_mapper_class_is_pu005_warning():
+    class CountingMapper(Mapper):
+        def setup(self, ctx):
+            self.count = 0  # allowed: setup initializes per-attempt state
+
+        def map(self, ctx, split):
+            self.count += 1  # carries state across records
+            ctx.emit(0, self.count)
+
+    findings = analyze_callable(CountingMapper())
+    assert rule_ids(findings) == {"PU005"}
+    assert findings[0].severity == Severity.WARNING
+    assert not has_errors(findings)
+
+
+def test_reducer_mutating_values_is_pu004():
+    class SortingReducer(Reducer):
+        def reduce(self, ctx, key, values):
+            values.sort()
+            ctx.emit(key, values)
+
+    assert "PU004" in rule_ids(analyze_callable(SortingReducer()))
+
+
+def test_global_statement_is_pu003():
+    def mapper(ctx, split):
+        global _COUNTER  # noqa: PLW0603
+        _COUNTER = split.index
+
+    assert "PU003" in rule_ids(analyze_callable(FnMapper(mapper)))
+
+
+def test_live_lambda_mapper_is_analyzed():
+    """getsource on a lambda yields the enclosing statement; the analyzer
+    must still find the lambda node (by line and arity) and flag it."""
+    hits = []
+    mapper = FnMapper(lambda ctx, split: hits.append(split.index))
+    assert "PU003" in rule_ids(analyze_callable(mapper))
+
+
+def test_nested_lambda_in_factory_is_analyzed():
+    from repro.mapreduce import JobConf, splits_for_workers
+
+    hits = []
+    conf = JobConf(
+        name="leaky",
+        mapper_factory=lambda: FnMapper(lambda ctx, split: hits.append(split.index)),
+        splits=splits_for_workers(4),
+    )
+    assert "PU003" in rule_ids(analyze_job(conf))
+
+
+def test_clean_live_lambda_passes():
+    assert analyze_callable(FnMapper(lambda ctx, split: ctx.emit(0, split.index))) == []
+
+
+def test_live_lambda_mutating_input_is_pu004():
+    mapper = FnMapper(lambda ctx, record: record.update(seen=True))
+    assert "PU004" in rule_ids(analyze_callable(mapper))
+
+
+def test_fn_reducer_is_analyzed_too():
+    shared = {}
+
+    def reducer(ctx, key, values):
+        shared[key] = sum(values)
+
+    assert "PU003" in rule_ids(analyze_callable(FnReducer(reducer)))
+
+
+# -- graceful degradation -----------------------------------------------------------
+
+
+def test_builtin_without_source_is_pu001_info():
+    findings = analyze_callable(len)
+    assert rule_ids(findings) == {"PU001"}
+    assert findings[0].severity == Severity.INFO
+    assert not has_errors(findings)
+
+
+def test_analyze_job_runs_factories_once_and_dedups():
+    from repro.mapreduce import JobConf, splits_for_workers
+
+    acc = []
+
+    def mapper(ctx, split):
+        acc.append(split.index)
+
+    conf = JobConf(
+        name="impure",
+        mapper_factory=lambda: FnMapper(mapper),
+        splits=splits_for_workers(4),
+    )
+    findings = analyze_job(conf)
+    assert rule_ids(findings) == {"PU003"}
+    assert len([f for f in findings if f.rule == "PU003"]) == 1
+
+
+# -- suppression --------------------------------------------------------------------
+
+
+def test_inline_suppression_comment():
+    def mapper(ctx, split):
+        ctx.emit(0, random.random())  # lint: ignore[PU002]
+
+    assert analyze_callable(FnMapper(mapper)) == []
+
+
+def test_bare_inline_suppression_silences_all_rules():
+    acc = []
+
+    def mapper(ctx, split):
+        acc.append(random.random())  # lint: ignore
+
+    assert analyze_callable(FnMapper(mapper)) == []
+
+
+# -- source-file analysis -----------------------------------------------------------
+
+IMPURE_SOURCE = '''
+import random
+
+from repro.mapreduce import FnMapper, Mapper
+
+SEEN = {}
+
+
+class TallyMapper(Mapper):
+    def map(self, ctx, split):
+        SEEN[split.index] = True
+        ctx.emit(0, split.index)
+
+
+wrapped = FnMapper(lambda ctx, split: ctx.emit(0, random.random()))
+'''
+
+CLEAN_SOURCE = '''
+from repro.mapreduce import Mapper
+
+
+class IdentityMapper(Mapper):
+    def map(self, ctx, split):
+        ctx.emit(split.index, split.index)
+'''
+
+
+def test_analyze_source_finds_class_and_lambda_defects(tmp_path):
+    findings = analyze_source(IMPURE_SOURCE, "impure_pipeline.py")
+    ids = rule_ids(findings)
+    assert "PU003" in ids  # TallyMapper writes the module-global dict
+    assert "PU002" in ids  # the wrapped lambda calls random.random()
+
+
+def test_analyze_source_clean_pipeline():
+    assert analyze_source(CLEAN_SOURCE, "clean_pipeline.py") == []
+
+
+def test_cli_source_mode_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad_pipeline.py"
+    bad.write_text(IMPURE_SOURCE)
+    good = tmp_path / "good_pipeline.py"
+    good.write_text(CLEAN_SOURCE)
+
+    assert lint_main([str(good)]) == 0
+    capsys.readouterr()
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "PU002" in out and "PU003" in out
+    # --ignore downgrades the run to clean.
+    assert lint_main([str(bad), "--ignore", "PU002,PU003"]) == 0
+
+
+def test_repo_pipelines_are_clean_under_source_analysis():
+    """Satellite (c): the analyzers found nothing to fix in the shipped
+    examples and experiment drivers; pin that state."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[1]
+    targets = sorted((root / "examples").glob("*.py")) + sorted(
+        (root / "src" / "repro" / "experiments").glob("*.py")
+    )
+    assert targets, "repo layout changed; update the sweep"
+    for path in targets:
+        findings = analyze_source(path.read_text(), str(path))
+        assert findings == [], (path, findings)
