@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check bench experiments examples coverage clean
+.PHONY: install test lint chaos check bench experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -27,7 +27,13 @@ lint:
 		echo "mypy not installed; skipping (pip install -e '.[dev]')"; \
 	fi
 
-check: lint test
+# Fault-injection campaign: full inversions under seeded fault schedules
+# (datanode death, replica corruption, hung tasks, driver crash) with
+# end-to-end invariants.  Exit status 0 iff every schedule is green.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --seed 0
+
+check: lint test chaos
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -2,6 +2,7 @@
 
     python -m repro invert [--n N] [--nb NB] [--m0 M0] [--verify]
     python -m repro lint [paths...] [--n N] [--nb NB] [--m0 M0] [--self-check]
+    python -m repro chaos [--seed S] [--schedule NAME] [--json] [--list]
     python -m repro experiments [--fast]
     python -m repro table <1|2|3> / figure <6|7|8> / section <7.2|7.4|7.5>
 """
@@ -89,6 +90,10 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["chaos"]:
+        from .chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -113,6 +118,12 @@ def main(argv: list[str] | None = None) -> int:
         help="statically validate pipelines without running them "
         "(plan dataflow + mapper/reducer purity); see "
         "python -m repro lint --help",
+    )
+
+    sub.add_parser(
+        "chaos",
+        help="run inversions under seeded fault schedules and check "
+        "end-to-end invariants; see python -m repro chaos --help",
     )
 
     p_exp = sub.add_parser("experiments", help="regenerate every table/figure")

@@ -1,0 +1,55 @@
+"""Chaos campaign harness: seeded fault schedules + end-to-end invariants.
+
+The paper's Section 4 premise is that MapReduce buys fault tolerance "for
+free" — this package actually bills for it.  A :class:`FaultSchedule`
+composes cluster faults (datanode death/revival, replica corruption, driver
+crash) with task faults (failures, hangs) under one seed; the campaign
+runner executes a complete matrix inversion under each schedule and checks
+that the answer is right, the job count matches ``2^d + 1``, replication
+converges back to target, and no orphan intermediates survive.
+
+Entry points: ``python -m repro chaos`` (CLI), :func:`run_campaign` /
+:func:`run_schedule` (library), :func:`builtin_schedules` (the battery).
+"""
+
+from .campaign import (
+    RESIDUAL_TOL,
+    CampaignReport,
+    InvariantResult,
+    ScheduleOutcome,
+    campaign_matrix,
+    run_campaign,
+    run_schedule,
+)
+from .events import (
+    ChaosContext,
+    CorruptReplicas,
+    CrashDriver,
+    DriverCrashError,
+    FaultEvent,
+    KillDatanode,
+    Nemesis,
+    ReviveDatanode,
+)
+from .schedule import FaultSchedule, builtin_schedules, schedule_by_name
+
+__all__ = [
+    "RESIDUAL_TOL",
+    "CampaignReport",
+    "ChaosContext",
+    "CorruptReplicas",
+    "CrashDriver",
+    "DriverCrashError",
+    "FaultEvent",
+    "FaultSchedule",
+    "InvariantResult",
+    "KillDatanode",
+    "Nemesis",
+    "ReviveDatanode",
+    "ScheduleOutcome",
+    "builtin_schedules",
+    "campaign_matrix",
+    "run_campaign",
+    "run_schedule",
+    "schedule_by_name",
+]

@@ -1,0 +1,314 @@
+"""The chaos campaign: full inversions under fault schedules, with invariants.
+
+For each :class:`~repro.chaos.schedule.FaultSchedule` the runner builds a
+fresh simulated cluster, arms the schedule's nemesis and task faults, runs a
+complete matrix inversion (resuming once if the schedule crashes the driver),
+and then checks four end-to-end invariants:
+
+``correctness``
+    ``max |I - A·A⁻¹|`` is within tolerance and the result matches
+    ``numpy.linalg.inv`` — faults may slow the pipeline down, never change
+    its answer.
+``job-accounting``
+    The executed job sequence matches the static plan: exactly ``2^d + 1``
+    jobs in the planned order (Table 3).  After a driver crash the re-run
+    skips completed jobs, so the check relaxes to "the planned set, each at
+    most twice, nothing unplanned".
+``replication``
+    Every surviving block converges back to full health — no
+    under-replicated blocks, no corrupt replicas — once the
+    :class:`~repro.dfs.health.HealthMonitor` has run.
+``no-orphans``
+    Every file under the work root was predicted by the static pipeline
+    model (:func:`repro.analysis.build_model`); crashes and retries leave no
+    stray intermediates behind.
+
+The invariants are deliberately external: they consult the static model and
+numpy, never the engine's own bookkeeping, so an engine bug cannot vouch for
+itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis import build_model
+from ..dfs.filesystem import DFS
+from ..inversion.config import InversionConfig
+from ..inversion.driver import InversionResult, MatrixInverter
+from ..mapreduce.runtime import MapReduceRuntime, RuntimeConfig
+from .events import DriverCrashError, Nemesis
+from .schedule import FaultSchedule, builtin_schedules
+
+#: ``max |I - A·A⁻¹|`` bound for the campaign's well-conditioned inputs.
+RESIDUAL_TOL = 1e-8
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One checked invariant: name, verdict, and evidence either way."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass
+class ScheduleOutcome:
+    """Everything one schedule's run produced."""
+
+    schedule: str
+    description: str
+    invariants: list[InvariantResult] = field(default_factory=list)
+    error: str | None = None
+    crashed_and_resumed: bool = False
+    events_log: list[str] = field(default_factory=list)
+    jobs_run: int = 0
+    attempts_failed: int = 0
+    attempts_timed_out: int = 0
+    backoff_seconds: float = 0.0
+    repair_copies: int = 0
+    corrupt_dropped: int = 0
+    blacklisted_nodes: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and all(inv.ok for inv in self.invariants)
+
+    def to_dict(self) -> dict:
+        return {
+            "schedule": self.schedule,
+            "description": self.description,
+            "ok": self.ok,
+            "error": self.error,
+            "crashed_and_resumed": self.crashed_and_resumed,
+            "invariants": [inv.to_dict() for inv in self.invariants],
+            "events": list(self.events_log),
+            "jobs_run": self.jobs_run,
+            "attempts_failed": self.attempts_failed,
+            "attempts_timed_out": self.attempts_timed_out,
+            "backoff_seconds": round(self.backoff_seconds, 6),
+            "repair_copies": self.repair_copies,
+            "corrupt_replicas_dropped": self.corrupt_dropped,
+            "blacklisted_nodes": self.blacklisted_nodes,
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of a full battery under one seed."""
+
+    seed: int
+    n: int
+    nb: int
+    m0: int
+    outcomes: list[ScheduleOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n": self.n,
+            "nb": self.nb,
+            "m0": self.m0,
+            "ok": self.ok,
+            "schedules": [o.to_dict() for o in self.outcomes],
+        }
+
+
+def campaign_matrix(n: int, seed: int) -> np.ndarray:
+    """A seeded, well-conditioned test input: random entries plus a dominant
+    diagonal, so ``RESIDUAL_TOL`` is meaningful at every campaign size."""
+    rng = np.random.RandomState(seed)
+    return rng.standard_normal((n, n)) + n * np.eye(n)
+
+
+def _check_correctness(
+    a: np.ndarray, result: InversionResult
+) -> InvariantResult:
+    residual = result.residual(a)
+    matches = np.allclose(result.inverse, np.linalg.inv(a), atol=1e-8)
+    ok = bool(residual <= RESIDUAL_TOL and matches)
+    return InvariantResult(
+        name="correctness",
+        ok=ok,
+        detail=(
+            f"max|I - A·A⁻¹| = {residual:.3e} (tol {RESIDUAL_TOL:.0e}), "
+            f"allclose(numpy.linalg.inv) = {matches}"
+        ),
+    )
+
+
+def _check_job_accounting(
+    runtime: MapReduceRuntime,
+    result: InversionResult,
+    crashed: bool,
+) -> InvariantResult:
+    planned = result.plan.job_schedule()
+    if not crashed:
+        executed = [job.name for job in result.record.job_results]
+        ok = executed == planned
+        return InvariantResult(
+            name="job-accounting",
+            ok=ok,
+            detail=(
+                f"{len(executed)} jobs = 2^d + 1 = {len(planned)}, "
+                f"sequence {'matches' if ok else 'DIVERGES from'} the plan"
+            ),
+        )
+    # Across crash + resume: runtime.history spans both runs.  Completed
+    # jobs are skipped on resume, so each planned job runs once or twice
+    # (twice only if the crash landed after launch but before completion
+    # was recorded) and nothing off-plan ever runs.
+    executed = [job.name for job in runtime.history]
+    unplanned = sorted(set(executed) - set(planned))
+    missing = sorted(set(planned) - set(executed))
+    overrun = sorted(name for name in set(executed) if executed.count(name) > 2)
+    ok = not (unplanned or missing or overrun)
+    return InvariantResult(
+        name="job-accounting",
+        ok=ok,
+        detail=(
+            f"crash+resume ran {len(executed)} launches covering "
+            f"{len(set(executed))}/{len(planned)} planned jobs"
+            + (f"; unplanned={unplanned}" if unplanned else "")
+            + (f"; missing={missing}" if missing else "")
+            + (f"; >2 runs: {overrun}" if overrun else "")
+        ),
+    )
+
+
+def _check_replication(dfs: DFS) -> InvariantResult:
+    repair = dfs.health_monitor().repair()
+    report = dfs.health_monitor().scan()
+    ok = bool(
+        report.under_replicated == 0
+        and report.corrupt_replicas == 0
+        and not repair.unrecoverable
+    )
+    return InvariantResult(
+        name="replication",
+        ok=ok,
+        detail=(
+            f"{report.blocks_total} blocks: {report.under_replicated} "
+            f"under-replicated, {report.corrupt_replicas} corrupt replicas, "
+            f"{len(repair.unrecoverable)} unrecoverable"
+        ),
+    )
+
+
+def _check_no_orphans(dfs: DFS, config: InversionConfig, n: int) -> InvariantResult:
+    predicted = build_model(n, config).all_writes()
+    actual = set(dfs.list_files(config.root))
+    orphans = sorted(actual - predicted)
+    return InvariantResult(
+        name="no-orphans",
+        ok=not orphans,
+        detail=(
+            f"{len(actual)} files under {config.root}, all predicted by the "
+            "static model"
+            if not orphans
+            else f"{len(orphans)} orphan file(s): {orphans[:5]}"
+        ),
+    )
+
+
+def run_schedule(
+    schedule: FaultSchedule,
+    *,
+    seed: int = 0,
+    n: int = 48,
+    nb: int = 16,
+    m0: int = 4,
+    num_datanodes: int = 5,
+    replication: int = 3,
+) -> ScheduleOutcome:
+    """Run one full inversion under ``schedule`` and check every invariant."""
+    outcome = ScheduleOutcome(schedule=schedule.name, description=schedule.description)
+    start = time.perf_counter()
+
+    a = campaign_matrix(n, seed)
+    dfs = DFS(num_datanodes=num_datanodes, replication=replication, seed=seed)
+    runtime = MapReduceRuntime(
+        dfs=dfs,
+        config=RuntimeConfig(num_workers=m0, executor="serial"),
+        fault_policy=schedule.make_task_faults(seed),
+    )
+    nemesis = Nemesis(schedule.events, dfs, seed)
+    runtime.before_job.append(nemesis)
+    config = InversionConfig(
+        nb=nb, m0=m0, retry=schedule.retry, max_attempts=schedule.max_attempts
+    )
+    inverter = MatrixInverter(config=config, runtime=runtime)
+
+    try:
+        try:
+            result = inverter.invert(a)
+        except DriverCrashError:
+            # The old driver is dead; a new one resumes from DFS state.
+            outcome.crashed_and_resumed = True
+            result = inverter.invert(a, resume=True)
+    except Exception as exc:  # noqa: BLE001 - campaign reports, never raises
+        outcome.error = f"{type(exc).__name__}: {exc}"
+    else:
+        outcome.invariants = [
+            _check_correctness(a, result),
+            _check_job_accounting(runtime, result, outcome.crashed_and_resumed),
+            _check_replication(dfs),
+            _check_no_orphans(dfs, config, n),
+        ]
+        outcome.jobs_run = len(runtime.history)
+        outcome.attempts_failed = sum(j.attempts_failed for j in runtime.history)
+        outcome.attempts_timed_out = sum(
+            j.attempts_timed_out for j in runtime.history
+        )
+        outcome.backoff_seconds = sum(j.backoff_seconds for j in runtime.history)
+        outcome.repair_copies = sum(r.copies_made for r in runtime.repair_log)
+        outcome.corrupt_dropped = sum(
+            r.corrupt_replicas_dropped for r in runtime.repair_log
+        )
+        outcome.blacklisted_nodes = len(runtime.node_health.blacklisted_nodes())
+    finally:
+        outcome.events_log = list(nemesis.ctx.log)
+        outcome.wall_seconds = time.perf_counter() - start
+        runtime.shutdown()
+    return outcome
+
+
+def run_campaign(
+    *,
+    seed: int = 0,
+    n: int = 48,
+    nb: int = 16,
+    m0: int = 4,
+    schedules: tuple[FaultSchedule, ...] | None = None,
+) -> CampaignReport:
+    """Run the full battery (or a custom one) and collect every outcome."""
+    report = CampaignReport(seed=seed, n=n, nb=nb, m0=m0)
+    for schedule in schedules if schedules is not None else builtin_schedules(seed):
+        report.outcomes.append(
+            run_schedule(schedule, seed=seed, n=n, nb=nb, m0=m0)
+        )
+    return report
+
+
+__all__ = [
+    "RESIDUAL_TOL",
+    "CampaignReport",
+    "InvariantResult",
+    "ScheduleOutcome",
+    "campaign_matrix",
+    "run_campaign",
+    "run_schedule",
+]

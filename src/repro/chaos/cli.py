@@ -1,0 +1,113 @@
+"""``python -m repro chaos`` — run the fault-injection campaign.
+
+Examples::
+
+    python -m repro chaos                      # full battery, seed 0
+    python -m repro chaos --seed 7 --json      # machine-readable report
+    python -m repro chaos --schedule combined  # one scenario
+    python -m repro chaos --list               # what's in the battery
+
+Exit status is 0 iff every schedule completed with every invariant green,
+so the command doubles as a CI gate (``make chaos``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .campaign import CampaignReport, run_campaign
+from .schedule import builtin_schedules, schedule_by_name
+
+_GREEN = "ok"
+_RED = "FAIL"
+
+
+def _format_text(report: CampaignReport) -> str:
+    lines = [
+        f"chaos campaign: n={report.n} nb={report.nb} m0={report.m0} "
+        f"seed={report.seed}",
+        "",
+    ]
+    for outcome in report.outcomes:
+        status = _GREEN if outcome.ok else _RED
+        lines.append(f"[{status:>4}] {outcome.schedule}: {outcome.description}")
+        if outcome.crashed_and_resumed:
+            lines.append("       driver crashed and resumed from DFS state")
+        for event in outcome.events_log:
+            lines.append(f"       nemesis: {event}")
+        if outcome.error:
+            lines.append(f"       run error: {outcome.error}")
+        for inv in outcome.invariants:
+            mark = _GREEN if inv.ok else _RED
+            lines.append(f"       [{mark:>4}] {inv.name}: {inv.detail}")
+        lines.append(
+            f"       {outcome.jobs_run} job launches, "
+            f"{outcome.attempts_failed} failed attempts "
+            f"({outcome.attempts_timed_out} timed out), "
+            f"{outcome.repair_copies} repair copies, "
+            f"{outcome.corrupt_dropped} corrupt replicas dropped "
+            f"[{outcome.wall_seconds:.2f}s]"
+        )
+        lines.append("")
+    passed = sum(o.ok for o in report.outcomes)
+    lines.append(
+        f"{passed}/{len(report.outcomes)} schedules green — "
+        + ("campaign PASSED" if report.ok else "campaign FAILED")
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="run matrix inversions under seeded fault schedules and "
+        "check correctness, job accounting, replication recovery, and "
+        "intermediate-file hygiene",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fault RNG seed")
+    parser.add_argument("--n", type=int, default=48, help="matrix order")
+    parser.add_argument("--nb", type=int, default=16, help="bound value")
+    parser.add_argument("--m0", type=int, default=4, help="workers per job")
+    parser.add_argument(
+        "--schedule",
+        action="append",
+        metavar="NAME",
+        help="run only this schedule (repeatable); default: full battery",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list schedules and exit"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for schedule in builtin_schedules(args.seed):
+            print(f"{schedule.name:20s} {schedule.description}")
+        return 0
+
+    schedules = None
+    if args.schedule:
+        try:
+            schedules = tuple(
+                schedule_by_name(name, args.seed) for name in args.schedule
+            )
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
+    report = run_campaign(
+        seed=args.seed, n=args.n, nb=args.nb, m0=args.m0, schedules=schedules
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(_format_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ text/binary codecs of Table 3.
 
 from .blocks import BlockCorruptionError, BlockMissingError, BlockStore, DataNode
 from .filesystem import DFS, DFSWriter
+from .health import HealthMonitor, HealthReport, RepairReport
 from .iostats import IOSnapshot, IOStats
 from .namenode import (
     DFSError,
@@ -32,6 +33,9 @@ __all__ = [
     "DirectoryNotEmpty",
     "FileAlreadyExists",
     "FileNotFound",
+    "HealthMonitor",
+    "HealthReport",
+    "RepairReport",
     "IOSnapshot",
     "IOStats",
     "IsADirectory",

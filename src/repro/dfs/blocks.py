@@ -113,6 +113,11 @@ class BlockStore:
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._blocks: dict[BlockId, BlockInfo] = {}
+        #: Monotonic count of topology changes (datanode kills/revives).  The
+        #: runtime's auto-repair pass uses it to trigger a
+        #: :class:`~repro.dfs.health.HealthMonitor` scan only when something
+        #: actually changed, keeping the healthy path free of scan overhead.
+        self.failure_epoch = 0
 
     # -- placement ---------------------------------------------------------
 
@@ -137,24 +142,39 @@ class BlockStore:
         return info
 
     def read_block(self, info: BlockInfo) -> bytes:
-        """Read one healthy replica, skipping dead nodes and corrupt copies."""
-        last_error: Exception | None = None
-        for node_idx in info.replicas:
+        """Read one healthy replica, skipping dead nodes and corrupt copies.
+
+        When no replica is usable the error spells out each replica's fate
+        (dead node / payload missing / corrupt) so an operator — or a chaos
+        campaign report — can tell a datanode outage from data loss.  A
+        corrupt copy anywhere upgrades the failure to
+        :class:`BlockCorruptionError` (detected corruption is the more
+        alarming diagnosis).
+        """
+        with self._lock:
+            replicas = tuple(info.replicas)
+        statuses: list[tuple[int, str]] = []
+        corrupt_seen = False
+        for node_idx in replicas:
             node = self.datanodes[node_idx]
             if not node.alive:
+                statuses.append((node_idx, "dead"))
                 continue
             payload = node.get(info.block_id)
             if payload is None:
+                statuses.append((node_idx, "missing"))
                 continue
             if zlib.crc32(payload) != info.checksum:
-                last_error = BlockCorruptionError(
-                    f"{info.block_id} corrupt on datanode {node_idx}"
-                )
+                statuses.append((node_idx, "corrupt"))
+                corrupt_seen = True
                 continue
             return payload
-        if last_error is not None:
-            raise last_error
-        raise BlockMissingError(f"no live replica of {info.block_id}")
+        detail = ", ".join(f"datanode {n}: {s}" for n, s in statuses) or "no replicas"
+        if corrupt_seen:
+            raise BlockCorruptionError(
+                f"{info.block_id} corrupt, no healthy replica ({detail})"
+            )
+        raise BlockMissingError(f"no live replica of {info.block_id} ({detail})")
 
     def delete_block(self, info: BlockInfo) -> None:
         for node_idx in info.replicas:
@@ -163,63 +183,106 @@ class BlockStore:
             self._blocks.pop(info.block_id, None)
 
     # -- re-replication ------------------------------------------------------
+    #
+    # Everything below reads or mutates ``info.replicas`` and the datanode
+    # maps, so it all runs under ``self._lock`` — concurrent ``write_block``
+    # / ``delete_block`` calls (task attempts on the thread pool) would
+    # otherwise race with a maintenance pass.  DataNode locks are leaves:
+    # they are never held while acquiring ``self._lock``, so the nesting
+    # here cannot deadlock.
 
-    def live_replica_count(self, info: BlockInfo) -> int:
-        """Healthy replicas currently reachable (live node + intact payload)."""
-        count = 0
+    def _replica_status_locked(self, info: BlockInfo) -> list[tuple[int, str]]:
+        statuses: list[tuple[int, str]] = []
         for node_idx in info.replicas:
             node = self.datanodes[node_idx]
             if not node.alive:
+                statuses.append((node_idx, "dead"))
                 continue
             payload = node.get(info.block_id)
-            if payload is not None and zlib.crc32(payload) == info.checksum:
-                count += 1
-        return count
+            if payload is None:
+                statuses.append((node_idx, "missing"))
+            elif zlib.crc32(payload) != info.checksum:
+                statuses.append((node_idx, "corrupt"))
+            else:
+                statuses.append((node_idx, "healthy"))
+        return statuses
+
+    def replica_status(self, info: BlockInfo) -> list[tuple[int, str]]:
+        """Per-replica ``(node_id, status)`` where status is ``"healthy"``,
+        ``"dead"``, ``"missing"`` or ``"corrupt"``."""
+        with self._lock:
+            return self._replica_status_locked(info)
+
+    def live_replica_count(self, info: BlockInfo) -> int:
+        """Healthy replicas currently reachable (live node + intact payload)."""
+        with self._lock:
+            return sum(
+                1 for _, status in self._replica_status_locked(info) if status == "healthy"
+            )
+
+    def drop_corrupt_replicas(self, info: BlockInfo) -> int:
+        """Discard replicas whose payload fails the checksum so re-replication
+        can place fresh copies there (HDFS's corrupt-replica invalidation).
+        Returns the number of replicas dropped."""
+        with self._lock:
+            dropped = 0
+            kept: list[int] = []
+            for node_idx, status in self._replica_status_locked(info):
+                if status == "corrupt":
+                    self.datanodes[node_idx].drop(info.block_id)
+                    dropped += 1
+                else:
+                    kept.append(node_idx)
+            if dropped:
+                info.replicas = tuple(kept)
+            return dropped
 
     def rereplicate(self, info: BlockInfo) -> int:
         """Restore a block to its target replication by copying a healthy
         replica onto live nodes that lack one (the namenode's response to a
         datanode death in HDFS).  Returns the number of new copies made;
         raises if no healthy source replica exists."""
-        target = min(self.replication, sum(dn.alive for dn in self.datanodes))
-        healthy: list[int] = []
-        for node_idx in info.replicas:
-            node = self.datanodes[node_idx]
-            if not node.alive:
-                continue
-            payload = node.get(info.block_id)
-            if payload is not None and zlib.crc32(payload) == info.checksum:
-                healthy.append(node_idx)
-        if len(healthy) >= target:
-            return 0
-        if not healthy:
-            raise BlockMissingError(
-                f"{info.block_id}: no healthy replica to re-replicate from"
-            )
-        payload = self.datanodes[healthy[0]].get(info.block_id)
-        candidates = [
-            dn.node_id
-            for dn in self.datanodes
-            if dn.alive and dn.node_id not in healthy
-        ]
-        made = 0
-        new_replicas = list(healthy)
-        for node_idx in candidates:
-            if len(new_replicas) >= target:
-                break
-            self.datanodes[node_idx].put(info.block_id, payload)
-            new_replicas.append(node_idx)
-            made += 1
-        info.replicas = tuple(new_replicas)
-        return made
+        with self._lock:
+            target = min(self.replication, sum(dn.alive for dn in self.datanodes))
+            healthy = [
+                node_idx
+                for node_idx, status in self._replica_status_locked(info)
+                if status == "healthy"
+            ]
+            if len(healthy) >= target:
+                return 0
+            if not healthy:
+                raise BlockMissingError(
+                    f"{info.block_id}: no healthy replica to re-replicate from"
+                )
+            payload = self.datanodes[healthy[0]].get(info.block_id)
+            candidates = [
+                dn.node_id
+                for dn in self.datanodes
+                if dn.alive and dn.node_id not in healthy
+            ]
+            made = 0
+            new_replicas = list(healthy)
+            for node_idx in candidates:
+                if len(new_replicas) >= target:
+                    break
+                self.datanodes[node_idx].put(info.block_id, payload)
+                new_replicas.append(node_idx)
+                made += 1
+            info.replicas = tuple(new_replicas)
+            return made
 
     # -- fault hooks --------------------------------------------------------
 
     def kill_datanode(self, node_id: int) -> None:
-        self.datanodes[node_id].alive = False
+        with self._lock:
+            self.datanodes[node_id].alive = False
+            self.failure_epoch += 1
 
     def revive_datanode(self, node_id: int) -> None:
-        self.datanodes[node_id].alive = True
+        with self._lock:
+            self.datanodes[node_id].alive = True
+            self.failure_epoch += 1
 
     def corrupt_replica(self, info: BlockInfo, node_id: int) -> bool:
         return self.datanodes[node_id].corrupt(info.block_id)

@@ -18,8 +18,13 @@ from __future__ import annotations
 import fnmatch
 import threading
 
+from typing import TYPE_CHECKING
+
 from .blocks import BlockStore
 from .iostats import IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .health import HealthMonitor
 from .namenode import (
     FileEntry,
     FileNotFound,
@@ -190,6 +195,15 @@ class DFS:
                 ):
                     count += 1
         return count
+
+    def health_monitor(self) -> "HealthMonitor":
+        """A :class:`~repro.dfs.health.HealthMonitor` bound to this DFS —
+        the scan/scrub/repair driver that supersedes bare
+        :meth:`rereplicate_all` (it also invalidates corrupt replicas and
+        reports unrecoverable blocks instead of raising mid-pass)."""
+        from .health import HealthMonitor
+
+        return HealthMonitor(self)
 
     def rereplicate_all(self) -> int:
         """Restore every under-replicated block; returns copies created.

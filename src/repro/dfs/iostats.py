@@ -31,6 +31,8 @@ class IOSnapshot:
     files_deleted: int = 0
     read_ops: int = 0
     write_ops: int = 0
+    repair_copies: int = 0
+    corrupt_replicas_dropped: int = 0
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
@@ -42,6 +44,10 @@ class IOSnapshot:
             files_deleted=self.files_deleted - other.files_deleted,
             read_ops=self.read_ops - other.read_ops,
             write_ops=self.write_ops - other.write_ops,
+            repair_copies=self.repair_copies - other.repair_copies,
+            corrupt_replicas_dropped=(
+                self.corrupt_replicas_dropped - other.corrupt_replicas_dropped
+            ),
         )
 
 
@@ -57,6 +63,8 @@ class IOStats:
     files_deleted: int = 0
     read_ops: int = 0
     write_ops: int = 0
+    repair_copies: int = 0
+    corrupt_replicas_dropped: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_read(self, nbytes: int, *, local: bool = False) -> None:
@@ -76,6 +84,18 @@ class IOStats:
     def record_replication(self, nbytes: int) -> None:
         """Maintenance traffic: block copies made to restore replication."""
         with self._lock:
+            self.bytes_written += nbytes
+            self.bytes_transferred += nbytes
+
+    def record_repair(
+        self, *, copies: int = 0, corrupt_dropped: int = 0, nbytes: int = 0
+    ) -> None:
+        """HealthMonitor repair work: re-replication copies (with their
+        byte traffic, accounted like :meth:`record_replication`) and corrupt
+        replicas invalidated."""
+        with self._lock:
+            self.repair_copies += copies
+            self.corrupt_replicas_dropped += corrupt_dropped
             self.bytes_written += nbytes
             self.bytes_transferred += nbytes
 
@@ -102,6 +122,8 @@ class IOStats:
                 files_deleted=self.files_deleted,
                 read_ops=self.read_ops,
                 write_ops=self.write_ops,
+                repair_copies=self.repair_copies,
+                corrupt_replicas_dropped=self.corrupt_replicas_dropped,
             )
 
     def reset(self) -> None:
@@ -114,3 +136,5 @@ class IOStats:
             self.files_deleted = 0
             self.read_ops = 0
             self.write_ops = 0
+            self.repair_copies = 0
+            self.corrupt_replicas_dropped = 0

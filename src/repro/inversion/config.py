@@ -8,9 +8,10 @@ the unoptimized variants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..linalg.blockwrap import factor_grid
+from ..mapreduce.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,15 @@ class InversionConfig:
         The whole workflow is predefined (Section 5), so every defect the
         pre-flight catches would otherwise be a deep runtime failure.
         On by default; opt out for deliberately corrupted ablation runs.
+    retry:
+        :class:`~repro.mapreduce.retry.RetryPolicy` applied to every job the
+        pipeline launches: exponential backoff between retry waves and an
+        optional per-attempt deadline that turns hung tasks into timeouts.
+        ``None`` (default) retries immediately with no deadline — the
+        pre-hardening behaviour.
+    max_attempts:
+        Per-task attempt budget for every pipeline job (Hadoop's
+        ``mapred.map.max.attempts``).
     """
 
     nb: int = 64
@@ -59,6 +69,8 @@ class InversionConfig:
     root: str = "/Root"
     input_format: str = "binary"
     preflight: bool = True
+    retry: RetryPolicy | None = None
+    max_attempts: int = 4
 
     def __post_init__(self) -> None:
         if self.nb < 1:
@@ -69,6 +81,8 @@ class InversionConfig:
             raise ValueError("m0 must be even (Section 5.3 splits mappers in half)")
         if self.input_format not in ("binary", "text"):
             raise ValueError(f"unknown input_format {self.input_format!r}")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
 
     @property
     def mhalf(self) -> int:

@@ -193,7 +193,12 @@ class MatrixInverter:
         return [check_purity]
 
     def _pipeline(self) -> Pipeline:
-        return Pipeline(self.runtime, validators=self._job_validators())
+        return Pipeline(
+            self.runtime,
+            validators=self._job_validators(),
+            retry_policy=self.config.retry,
+            max_attempts=self.config.max_attempts,
+        )
 
     def _prepare(
         self, a: np.ndarray, *, resume: bool = False

@@ -9,8 +9,11 @@ Hadoop-style counters, and multi-job pipelines with master-side phases.
 from .counters import Counters
 from .history import HistoryReport, JobSummary
 from .faults import (
+    ComposedFaults,
+    DelayAttempt,
     FailAlways,
     FailNever,
+    FailOnNode,
     FailOnce,
     FailRandomly,
     FaultPolicy,
@@ -26,9 +29,11 @@ from .job import (
     default_partitioner,
     splits_for_workers,
 )
-from .master import JobFailedError, JobTracker
+from .master import AttemptFailure, JobFailedError, JobTracker, NodeHealth
 from .pipeline import MasterPhase, Pipeline, PipelineRecord
+from .retry import RetryPolicy
 from .runtime import MapReduceRuntime, RuntimeConfig
+from .worker import TaskTimeoutError
 from .types import (
     InputSplit,
     JobId,
@@ -41,11 +46,15 @@ from .types import (
 )
 
 __all__ = [
+    "AttemptFailure",
+    "ComposedFaults",
     "Counters",
+    "DelayAttempt",
     "HistoryReport",
     "JobSummary",
     "FailAlways",
     "FailNever",
+    "FailOnNode",
     "FailOnce",
     "FailRandomly",
     "FaultPolicy",
@@ -61,11 +70,14 @@ __all__ = [
     "Mapper",
     "MapReduceRuntime",
     "MasterPhase",
+    "NodeHealth",
     "Pipeline",
     "PipelineRecord",
     "Reducer",
+    "RetryPolicy",
     "RuntimeConfig",
     "TaskAttemptId",
+    "TaskTimeoutError",
     "TaskContext",
     "TaskId",
     "TaskKind",

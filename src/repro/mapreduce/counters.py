@@ -28,6 +28,8 @@ LAUNCHED_MAPS = "LAUNCHED_MAPS"
 LAUNCHED_REDUCES = "LAUNCHED_REDUCES"
 FAILED_MAPS = "FAILED_MAPS"
 FAILED_REDUCES = "FAILED_REDUCES"
+TIMED_OUT_MAPS = "TIMED_OUT_MAPS"
+TIMED_OUT_REDUCES = "TIMED_OUT_REDUCES"
 
 
 class Counters:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from dataclasses import dataclass, field
 
 from .types import TaskAttemptId, TaskKind
@@ -26,9 +27,15 @@ class FaultPolicy:
     def should_fail(self, attempt: TaskAttemptId) -> bool:
         return False
 
-    def maybe_fail(self, attempt: TaskAttemptId) -> None:
-        if self.should_fail(attempt):
-            raise InjectedTaskFailure(f"injected failure of {attempt}")
+    def should_fail_at(self, attempt: TaskAttemptId, node: int | None) -> bool:
+        """Node-aware hook; the default ignores placement.  Override to model
+        faults tied to a machine rather than a task (crashed tracker, bad
+        disk) — the scenarios node blacklisting exists for."""
+        return self.should_fail(attempt)
+
+    def maybe_fail(self, attempt: TaskAttemptId, node: int | None = None) -> None:
+        if self.should_fail_at(attempt, node):
+            raise InjectedTaskFailure(f"injected failure of {attempt} on node {node}")
 
 
 @dataclass
@@ -105,3 +112,90 @@ class FailRandomly(FaultPolicy):
     def should_fail(self, attempt: TaskAttemptId) -> bool:
         with self._lock:
             return self._rng.random() < self.rate
+
+
+@dataclass
+class FailOnNode(FaultPolicy):
+    """Fail every attempt scheduled onto one node — a sick machine.
+
+    Any single task retried onto the same node would fail again; the
+    JobTracker's health tracker notices the consecutive failures, blacklists
+    the node, and routes retries elsewhere (Hadoop's
+    ``mapred.max.tracker.failures`` behaviour).  ``kind``/``job_substring``
+    optionally narrow the blast radius.
+    """
+
+    node_id: int
+    kind: TaskKind | None = None
+    job_substring: str = ""
+    job_name: str | None = None
+
+    def should_fail_at(self, attempt: TaskAttemptId, node: int | None) -> bool:
+        if node != self.node_id:
+            return False
+        if self.kind is not None and attempt.task.kind is not self.kind:
+            return False
+        return self.job_substring in (self.job_name or "")
+
+
+@dataclass
+class DelayAttempt(FaultPolicy):
+    """Hang matching attempts for ``seconds`` instead of failing them.
+
+    This is the fault class retry-on-exception cannot handle: the attempt
+    never raises, it just stops making progress.  Paired with a
+    :class:`~repro.mapreduce.retry.RetryPolicy` attempt deadline it exercises
+    the timeout → failover path; without a deadline it reproduces the
+    pre-hardening stalled-wave behaviour (in miniature — the delay is finite
+    so tests terminate).
+    """
+
+    seconds: float
+    kind: TaskKind | None = None
+    task_index: int | None = None
+    #: only attempts numbered strictly below this hang; retries run clean.
+    attempts_below: int = 1
+    job_substring: str = ""
+    job_name: str | None = None
+
+    def should_delay(self, attempt: TaskAttemptId) -> bool:
+        if self.kind is not None and attempt.task.kind is not self.kind:
+            return False
+        if self.task_index is not None and attempt.task.index != self.task_index:
+            return False
+        if attempt.attempt >= self.attempts_below:
+            return False
+        return self.job_substring in (self.job_name or "")
+
+    def maybe_fail(self, attempt: TaskAttemptId, node: int | None = None) -> None:
+        if self.should_delay(attempt):
+            time.sleep(self.seconds)
+
+
+class ComposedFaults(FaultPolicy):
+    """Apply several fault policies in order (chaos schedules compose faults).
+
+    ``job_name`` assignment fans out to every child policy that carries one,
+    preserving the master's name-scoping protocol.
+    """
+
+    def __init__(self, *policies: FaultPolicy) -> None:
+        self.policies = list(policies)
+
+    @property
+    def job_name(self) -> str | None:
+        for policy in self.policies:
+            name = getattr(policy, "job_name", None)
+            if name is not None:
+                return name
+        return None
+
+    @job_name.setter
+    def job_name(self, name: str | None) -> None:
+        for policy in self.policies:
+            if hasattr(policy, "job_name"):
+                policy.job_name = name
+
+    def maybe_fail(self, attempt: TaskAttemptId, node: int | None = None) -> None:
+        for policy in self.policies:
+            policy.maybe_fail(attempt, node)

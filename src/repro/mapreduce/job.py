@@ -30,6 +30,7 @@ from .counters import (
     FILESYSTEM_GROUP,
     Counters,
 )
+from .retry import RetryPolicy
 from .types import InputSplit, TaskAttemptId, TaskTrace
 
 
@@ -208,6 +209,9 @@ class JobConf:
     grouping_fn: Callable[[Any], Any] | None = None
     params: dict[str, Any] = field(default_factory=dict)
     max_attempts: int = 4
+    #: Backoff/deadline behaviour for retries (:class:`RetryPolicy`); ``None``
+    #: retries immediately with no attempt deadline, as Hadoop does by default.
+    retry_policy: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if not self.splits:

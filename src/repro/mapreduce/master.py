@@ -6,14 +6,28 @@ an incremented attempt number, up to ``max_attempts`` (Hadoop's
 ``mapred.map.max.attempts`` semantics).  A task that exhausts its attempts
 fails the whole job.
 
-Speculative execution, when enabled, submits a duplicate attempt for every
-task in a wave and commits the first success — the duplicate masks one-off
-failures without paying retry latency, which is the behaviour Section 7.4
-credits for the 8-hour (vs 5-hour) fault run completing at all.
+On top of the basic retry loop the tracker provides the failure-detection
+machinery Section 7.4's end-to-end fault story depends on:
+
+* **Backoff + deadlines** — a :class:`~repro.mapreduce.retry.RetryPolicy` on
+  the job conf spaces retry waves with capped exponential backoff
+  (deterministically jittered) and bounds each attempt's wall-clock time, so
+  a *hung* task times out (:class:`~repro.mapreduce.worker.TaskTimeoutError`)
+  instead of stalling its wave forever.
+* **Node health / blacklisting** — every attempt is placed on a simulated
+  worker node; consecutive failures on one node temporarily blacklist it
+  (Hadoop's ``mapred.max.tracker.failures``), and a retried task always
+  avoids the node where it last failed when an alternative exists.
+* **Speculative execution** — when enabled, every task gets a duplicate
+  attempt per wave and the first success commits; a task whose last attempt
+  *timed out* also gets a speculative duplicate on retry even when global
+  speculation is off, masking slow nodes the way Section 7.4 credits for the
+  8-hour (vs 5-hour) fault run completing at all.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -25,6 +39,8 @@ from .counters import (
     LAUNCHED_MAPS,
     LAUNCHED_REDUCES,
     TASK_GROUP,
+    TIMED_OUT_MAPS,
+    TIMED_OUT_REDUCES,
 )
 from .faults import FaultPolicy, FailNever
 from .job import JobConf
@@ -43,22 +59,138 @@ from .types import (
     TaskId,
     TaskKind,
 )
-from .worker import SerialExecutor, ThreadPoolBackend
+from .worker import SerialExecutor, TaskTimeoutError, ThreadPoolBackend
+
+
+@dataclass(frozen=True)
+class AttemptFailure:
+    """One failed task attempt: what ran where and how it died."""
+
+    attempt: TaskAttemptId
+    node: int | None
+    error: Exception
+    timed_out: bool = False
+
+    def describe(self) -> str:
+        kind = "timeout" if self.timed_out else "error"
+        return f"attempt {self.attempt.attempt} on node {self.node}: {kind} {self.error!r}"
 
 
 class JobFailedError(RuntimeError):
-    """A task exhausted its attempts; the job cannot complete."""
+    """A task exhausted its attempts; the job cannot complete.
 
-    def __init__(self, job_name: str, task: TaskId, last_error: Exception) -> None:
-        super().__init__(f"job {job_name!r}: task {task} failed permanently: {last_error!r}")
+    Carries the full attempt history (``attempts``) so callers — chaos
+    campaign reports, tests, operators — can see *why* the task died, not
+    just the final exception: which nodes it ran on, which attempts timed
+    out, and every per-attempt error.
+    """
+
+    def __init__(
+        self,
+        job_name: str,
+        task: TaskId,
+        last_error: Exception,
+        attempts: list[AttemptFailure] | None = None,
+    ) -> None:
+        attempts = list(attempts or [])
+        message = f"job {job_name!r}: task {task} failed permanently: {last_error!r}"
+        if attempts:
+            history = "; ".join(a.describe() for a in attempts)
+            message += f" [history: {history}]"
+        super().__init__(message)
+        self.job_name = job_name
         self.task = task
         self.last_error = last_error
+        self.attempts = attempts
+
+    @property
+    def failed_nodes(self) -> list[int]:
+        """Nodes that hosted a failed attempt, in order (with repeats)."""
+        return [a.node for a in self.attempts if a.node is not None]
+
+
+class NodeHealth:
+    """Per-node failure tracking with temporary blacklisting and decay.
+
+    A node accumulating ``max_failures`` consecutive task failures is
+    blacklisted for ``blacklist_window`` scheduling waves; any success resets
+    its count, and when a blacklist expires the count is cleared so the node
+    gets a fresh chance (decay).  With every node blacklisted the tracker
+    schedules on all of them — degraded beats deadlocked.
+    """
+
+    def __init__(
+        self, num_nodes: int, max_failures: int = 3, blacklist_window: int = 3
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        if max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        if blacklist_window < 1:
+            raise ValueError("blacklist_window must be >= 1")
+        self.num_nodes = num_nodes
+        self.max_failures = max_failures
+        self.blacklist_window = blacklist_window
+        self.consecutive_failures = [0] * num_nodes
+        self.total_failures = [0] * num_nodes
+        self._blacklist_left = [0] * num_nodes
+        self.blacklist_events = 0
+        self._rr = 0
+
+    def record_failure(self, node: int) -> None:
+        self.consecutive_failures[node] += 1
+        self.total_failures[node] += 1
+        if (
+            self.consecutive_failures[node] >= self.max_failures
+            and self._blacklist_left[node] == 0
+        ):
+            self._blacklist_left[node] = self.blacklist_window
+            self.blacklist_events += 1
+
+    def record_success(self, node: int) -> None:
+        self.consecutive_failures[node] = 0
+
+    def is_blacklisted(self, node: int) -> bool:
+        return self._blacklist_left[node] > 0
+
+    def blacklisted_nodes(self) -> list[int]:
+        return [i for i in range(self.num_nodes) if self.is_blacklisted(i)]
+
+    def tick(self) -> None:
+        """Advance one scheduling wave: blacklists decay toward expiry."""
+        for node in range(self.num_nodes):
+            if self._blacklist_left[node] > 0:
+                self._blacklist_left[node] -= 1
+                if self._blacklist_left[node] == 0:
+                    self.consecutive_failures[node] = 0
+
+    def pick_node(self, avoid: int | None = None) -> int:
+        """Round-robin over healthy nodes, skipping ``avoid`` (the node the
+        task last failed on) whenever any alternative exists."""
+        candidates = [n for n in range(self.num_nodes) if not self.is_blacklisted(n)]
+        if not candidates:
+            candidates = list(range(self.num_nodes))
+        if avoid is not None and len(candidates) > 1:
+            candidates = [n for n in candidates if n != avoid] or candidates
+        node = candidates[self._rr % len(candidates)]
+        self._rr += 1
+        return node
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "consecutive_failures": list(self.consecutive_failures),
+            "total_failures": list(self.total_failures),
+            "blacklisted": self.blacklisted_nodes(),
+            "blacklist_events": self.blacklist_events,
+        }
 
 
 @dataclass
 class _PhaseStats:
     launched: int = 0
     failed: int = 0
+    timeouts: int = 0
+    backoff_seconds: float = 0.0
     retries: dict[int, int] = None  # filled at phase end
 
 
@@ -71,13 +203,25 @@ class JobTracker:
         executor: SerialExecutor | ThreadPoolBackend,
         fault_policy: FaultPolicy | None = None,
         speculative: bool = False,
+        num_nodes: int | None = None,
+        max_node_failures: int = 3,
+        blacklist_window: int = 3,
     ) -> None:
         self.dfs = dfs
         self.executor = executor
         self.fault_policy = fault_policy or FailNever()
         self.speculative = speculative
+        self.node_health = NodeHealth(
+            num_nodes if num_nodes is not None else max(executor.max_workers, 1),
+            max_failures=max_node_failures,
+            blacklist_window=blacklist_window,
+        )
 
     # -- generic phase runner --------------------------------------------------
+
+    def _sleep(self, seconds: float) -> None:
+        """Backoff sleep, isolated for tests to stub."""
+        time.sleep(seconds)
 
     def _run_phase(
         self,
@@ -90,56 +234,96 @@ class JobTracker:
         """Drive one phase (map or reduce) to completion.
 
         ``work_items[i]`` is the input of logical task *i*; ``run_one(item,
-        attempt_id)`` executes one attempt.  Returns per-task results in task
-        order plus launch/failure statistics.
+        attempt_id, node)`` executes one attempt on a simulated worker node.
+        Returns per-task results in task order plus launch/failure statistics.
         """
         # Tell name-aware fault policies which job is running.
         if hasattr(self.fault_policy, "job_name"):
             self.fault_policy.job_name = conf.name
 
+        policy = conf.retry_policy
+        deadline = policy.attempt_deadline if policy is not None else None
         stats = _PhaseStats()
         results: list[Any] = [None] * len(work_items)
         next_attempt = [0] * len(work_items)
         pending = list(range(len(work_items)))
-        last_errors: dict[int, Exception] = {}
+        failures: dict[int, list[AttemptFailure]] = {i: [] for i in pending}
+        last_failed_node: dict[int, int] = {}
+        timed_out_tasks: set[int] = set()
+
+        def fail_permanently(idx: int) -> None:
+            history = failures[idx]
+            last = history[-1].error if history else RuntimeError("unknown failure")
+            raise JobFailedError(
+                conf.name,
+                TaskId(job=job_id, kind=kind, index=idx),
+                last,
+                attempts=history,
+            )
 
         while pending:
+            # Backoff before a retry wave: the wave launches together, so
+            # sleep the longest delay any of its tasks has earned.
+            if policy is not None:
+                delay = max(
+                    (
+                        policy.delay_for(next_attempt[idx], key=f"{job_id}:{kind.value}:{idx}")
+                        for idx in pending
+                    ),
+                    default=0.0,
+                )
+                if delay > 0:
+                    self._sleep(delay)
+                    stats.backoff_seconds += delay
             # Build the wave: one attempt per pending task, plus a speculative
-            # duplicate when enabled.
-            wave: list[tuple[int, TaskAttemptId]] = []
+            # duplicate when globally enabled or when the task just timed out
+            # (a hung attempt hints at a slow node; hedge the retry).
+            wave: list[tuple[int, TaskAttemptId, int]] = []
             for idx in pending:
-                copies = 2 if self.speculative else 1
+                copies = 2 if (self.speculative or idx in timed_out_tasks) else 1
                 for _ in range(copies):
                     attempt_no = next_attempt[idx]
-                    next_attempt[idx] += 1
                     if attempt_no >= conf.max_attempts:
                         break
+                    next_attempt[idx] += 1
                     attempt_id = TaskAttemptId(
                         task=TaskId(job=job_id, kind=kind, index=idx),
                         attempt=attempt_no,
                     )
-                    wave.append((idx, attempt_id))
+                    node = self.node_health.pick_node(avoid=last_failed_node.get(idx))
+                    wave.append((idx, attempt_id, node))
             if not wave:
-                first_failed = pending[0]
-                raise JobFailedError(
-                    conf.name,
-                    TaskId(job=job_id, kind=kind, index=first_failed),
-                    last_errors.get(first_failed, RuntimeError("unknown failure")),
-                )
+                fail_permanently(pending[0])
 
             thunks = [
-                (lambda item=work_items[idx], aid=attempt_id: run_one(item, aid))
-                for idx, attempt_id in wave
+                (lambda item=work_items[idx], aid=attempt_id, n=node: run_one(item, aid, n))
+                for idx, attempt_id, node in wave
             ]
             stats.launched += len(thunks)
-            outcomes = self.executor.run_all(thunks)
+            outcomes = self.executor.run_all(thunks, deadline=deadline)
+            self.node_health.tick()
 
             still_pending: set[int] = set(pending)
-            for (idx, _attempt_id), outcome in zip(wave, outcomes):
+            timed_out_tasks = set()
+            for (idx, attempt_id, node), outcome in zip(wave, outcomes):
                 if isinstance(outcome, Exception):
                     stats.failed += 1
-                    last_errors[idx] = outcome
+                    timed_out = isinstance(outcome, TaskTimeoutError)
+                    if timed_out:
+                        stats.timeouts += 1
+                        timed_out_tasks.add(idx)
+                    failures[idx].append(
+                        AttemptFailure(
+                            attempt=attempt_id,
+                            node=node,
+                            error=outcome,
+                            timed_out=timed_out,
+                        )
+                    )
+                    last_failed_node[idx] = node
+                    self.node_health.record_failure(node)
                     continue
+                self.node_health.record_success(node)
                 if idx in still_pending:
                     # First success wins; later duplicates are discarded.
                     results[idx] = outcome
@@ -150,13 +334,9 @@ class JobTracker:
                 if next_attempt[idx] >= conf.max_attempts
             ]
             if exhausted:
-                idx = exhausted[0]
-                raise JobFailedError(
-                    conf.name,
-                    TaskId(job=job_id, kind=kind, index=idx),
-                    last_errors.get(idx, RuntimeError("unknown failure")),
-                )
+                fail_permanently(exhausted[0])
             pending = sorted(still_pending)
+            timed_out_tasks &= still_pending
 
         stats.retries = {
             idx: attempts - 1
@@ -171,14 +351,20 @@ class JobTracker:
         counters = Counters()
 
         # Map phase.
-        def run_map(split: InputSplit, attempt_id: TaskAttemptId) -> MapAttemptResult:
-            return run_map_attempt(self.dfs, conf, split, attempt_id, self.fault_policy)
+        def run_map(
+            split: InputSplit, attempt_id: TaskAttemptId, node: int
+        ) -> MapAttemptResult:
+            return run_map_attempt(
+                self.dfs, conf, split, attempt_id, self.fault_policy, node=node
+            )
 
         map_results, map_stats = self._run_phase(
             conf, TaskKind.MAP, job_id, list(conf.splits), run_map
         )
         counters.increment(TASK_GROUP, LAUNCHED_MAPS, map_stats.launched)
         counters.increment(TASK_GROUP, FAILED_MAPS, map_stats.failed)
+        if map_stats.timeouts:
+            counters.increment(TASK_GROUP, TIMED_OUT_MAPS, map_stats.timeouts)
         for res in map_results:
             counters.merge(res.counters)
 
@@ -190,6 +376,8 @@ class JobTracker:
             counters=counters,
             attempts_launched=map_stats.launched,
             attempts_failed=map_stats.failed,
+            attempts_timed_out=map_stats.timeouts,
+            backoff_seconds=map_stats.backoff_seconds,
             map_retries=map_stats.retries or {},
         )
 
@@ -203,10 +391,10 @@ class JobTracker:
 
         # Reduce phase.
         def run_reduce(
-            partition: list[tuple[Any, Any]], attempt_id: TaskAttemptId
+            partition: list[tuple[Any, Any]], attempt_id: TaskAttemptId, node: int
         ) -> ReduceAttemptResult:
             return run_reduce_attempt(
-                self.dfs, conf, partition, attempt_id, self.fault_policy
+                self.dfs, conf, partition, attempt_id, self.fault_policy, node=node
             )
 
         reduce_results, reduce_stats = self._run_phase(
@@ -218,6 +406,8 @@ class JobTracker:
         )
         counters.increment(TASK_GROUP, LAUNCHED_REDUCES, reduce_stats.launched)
         counters.increment(TASK_GROUP, FAILED_REDUCES, reduce_stats.failed)
+        if reduce_stats.timeouts:
+            counters.increment(TASK_GROUP, TIMED_OUT_REDUCES, reduce_stats.timeouts)
         for res in reduce_results:
             counters.merge(res.counters)
 
@@ -228,4 +418,6 @@ class JobTracker:
         }
         result.attempts_launched += reduce_stats.launched
         result.attempts_failed += reduce_stats.failed
+        result.attempts_timed_out += reduce_stats.timeouts
+        result.backoff_seconds += reduce_stats.backoff_seconds
         return result

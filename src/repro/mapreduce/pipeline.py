@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from .job import JobConf
+from .retry import RetryPolicy
 from .runtime import MapReduceRuntime
 from .types import JobResult, TaskTrace
 
@@ -69,18 +70,31 @@ class Pipeline:
     before it launches — the hook the inversion driver uses to run the
     :mod:`repro.analysis` purity checker over each job's mapper/reducer
     ahead of execution.  A validator signals a defect by raising.
+
+    ``retry_policy`` and ``max_attempts`` are pipeline-wide defaults stamped
+    onto each job conf before launch (a conf's own explicit retry policy
+    wins), which is how ``InversionConfig.retry`` reaches every job of the
+    inversion workflow without the job builders knowing about it.
     """
 
     def __init__(
         self,
         runtime: MapReduceRuntime,
         validators: Sequence[Callable[[JobConf], None]] = (),
+        retry_policy: RetryPolicy | None = None,
+        max_attempts: int | None = None,
     ) -> None:
         self.runtime = runtime
         self.validators: list[Callable[[JobConf], None]] = list(validators)
+        self.retry_policy = retry_policy
+        self.max_attempts = max_attempts
         self.record = PipelineRecord()
 
     def run_job(self, conf: JobConf) -> JobResult:
+        if self.retry_policy is not None and conf.retry_policy is None:
+            conf.retry_policy = self.retry_policy
+        if self.max_attempts is not None:
+            conf.max_attempts = self.max_attempts
         for validate in self.validators:
             validate(conf)
         result = self.runtime.run_job(conf)

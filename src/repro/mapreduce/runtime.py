@@ -6,15 +6,28 @@ constant per-job cost that drives the paper's choice of the bound value ``nb``
 (Section 5: "the time to LU decompose a matrix of order nb on the master node
 [should be] approximately equal to the constant time required to launch a
 MapReduce job") and the deviation from ideal scaling in Figure 6.
+
+Fault-tolerance plumbing lives here too:
+
+* ``before_job`` hooks fire ahead of every job launch — the injection point
+  chaos nemeses use to kill datanodes, corrupt replicas, or crash the driver
+  between pipeline stages;
+* when ``auto_repair`` is on (the default), a
+  :class:`~repro.dfs.health.HealthMonitor` repair pass runs before a job
+  whenever the cluster topology changed since the last check (datanode
+  killed or revived), so replication converges back to target without anyone
+  calling ``rereplicate`` by hand.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
 from ..dfs.filesystem import DFS
+from ..dfs.health import RepairReport
 from .faults import FaultPolicy
 from .job import JobConf
 from .master import JobFailedError, JobTracker
@@ -30,12 +43,24 @@ class RuntimeConfig:
     executor: str = "serial"  # "serial" | "threads"
     job_launch_overhead: float = 1.0  # simulated seconds per job (Section 5)
     speculative: bool = False
+    #: Run a DFS repair pass before a job when the topology changed
+    #: (datanode death/revival) since the last check.
+    auto_repair: bool = True
+    #: Consecutive task failures on one node before it is blacklisted
+    #: (Hadoop's ``mapred.max.tracker.failures``).
+    max_node_failures: int = 3
+    #: Scheduling waves a blacklisted node sits out before decaying back in.
+    blacklist_window: int = 3
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if self.job_launch_overhead < 0:
             raise ValueError("job_launch_overhead must be >= 0")
+        if self.max_node_failures < 1:
+            raise ValueError("max_node_failures must be >= 1")
+        if self.blacklist_window < 1:
+            raise ValueError("blacklist_window must be >= 1")
 
 
 class MapReduceRuntime:
@@ -55,16 +80,42 @@ class MapReduceRuntime:
             self._executor,
             fault_policy=fault_policy,
             speculative=self.config.speculative,
+            num_nodes=self.config.num_workers,
+            max_node_failures=self.config.max_node_failures,
+            blacklist_window=self.config.blacklist_window,
         )
         self._job_ids = itertools.count(1)
         self.history: list[JobResult] = []
+        #: Hooks invoked with the JobConf before each launch (chaos nemeses,
+        #: schedulers).  A hook that raises aborts the launch.
+        self.before_job: list[Callable[[JobConf], None]] = []
+        #: Repair passes triggered by ``auto_repair``, in order.
+        self.repair_log: list[RepairReport] = []
+        self._repair_epoch = self.dfs.blocks.failure_epoch
 
     @property
     def num_workers(self) -> int:
         return self.config.num_workers
 
+    @property
+    def node_health(self):
+        """The tracker's per-node failure/blacklist state (read-mostly)."""
+        return self._tracker.node_health
+
+    def _maybe_auto_repair(self) -> None:
+        if not self.config.auto_repair:
+            return
+        epoch = self.dfs.blocks.failure_epoch
+        if epoch == self._repair_epoch:
+            return
+        self._repair_epoch = epoch
+        self.repair_log.append(self.dfs.health_monitor().repair())
+
     def run_job(self, conf: JobConf) -> JobResult:
         """Run one job to completion; raises JobFailedError on permanent failure."""
+        for hook in list(self.before_job):
+            hook(conf)
+        self._maybe_auto_repair()
         job_id = JobId(next(self._job_ids))
         start = time.perf_counter()
         result = self._tracker.run_job(conf, job_id)

@@ -58,14 +58,15 @@ def run_map_attempt(
     split: InputSplit,
     attempt_id: TaskAttemptId,
     fault_policy: FaultPolicy,
+    node: int | None = None,
 ) -> MapAttemptResult:
     """Run one map attempt to completion (exceptions propagate to the master)."""
     counters = Counters()
-    trace = TaskTrace(attempt=str(attempt_id), kind=TaskKind.MAP)
+    trace = TaskTrace(attempt=str(attempt_id), kind=TaskKind.MAP, node=node)
     ctx = TaskContext(dfs, attempt_id, conf.params, trace, counters)
     start = time.perf_counter()
 
-    fault_policy.maybe_fail(attempt_id)
+    fault_policy.maybe_fail(attempt_id, node)
 
     mapper = conf.mapper_factory()
     mapper.setup(ctx)
@@ -94,16 +95,17 @@ def run_reduce_attempt(
     partition: list[tuple[Any, Any]],
     attempt_id: TaskAttemptId,
     fault_policy: FaultPolicy,
+    node: int | None = None,
 ) -> ReduceAttemptResult:
     """Run one reduce attempt over its merged, grouped partition."""
     if conf.reducer_factory is None:
         raise ValueError(f"job {conf.name!r} is map-only; no reduce to run")
     counters = Counters()
-    trace = TaskTrace(attempt=str(attempt_id), kind=TaskKind.REDUCE)
+    trace = TaskTrace(attempt=str(attempt_id), kind=TaskKind.REDUCE, node=node)
     ctx = TaskContext(dfs, attempt_id, conf.params, trace, counters)
     start = time.perf_counter()
 
-    fault_policy.maybe_fail(attempt_id)
+    fault_policy.maybe_fail(attempt_id, node)
 
     reducer = conf.reducer_factory()
     reducer.setup(ctx)

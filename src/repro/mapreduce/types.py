@@ -106,6 +106,11 @@ class JobResult:
     reduce_outputs: dict[int, list[tuple[Any, Any]]] = field(default_factory=dict)
     attempts_launched: int = 0
     attempts_failed: int = 0
+    #: attempts abandoned because they exceeded the RetryPolicy deadline
+    #: (a subset of ``attempts_failed``).
+    attempts_timed_out: int = 0
+    #: total wall-clock time the tracker slept between retry waves.
+    backoff_seconds: float = 0.0
     wall_seconds: float = 0.0
     #: task index -> number of extra attempts that ran before success
     #: (Section 7.4's failed-and-rescheduled mappers; the cluster simulator

@@ -1,0 +1,178 @@
+"""Chaos harness: schedules, nemesis mechanics, campaign invariants, CLI."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    CrashDriver,
+    DriverCrashError,
+    FaultSchedule,
+    KillDatanode,
+    Nemesis,
+    ReviveDatanode,
+    builtin_schedules,
+    run_campaign,
+    run_schedule,
+    schedule_by_name,
+)
+from repro.chaos.cli import main as chaos_main
+from repro.dfs import DFS
+from repro.mapreduce.job import JobConf, splits_for_workers
+
+
+def _comparable(outcome):
+    """Outcome dict minus wall-clock noise, for determinism comparisons."""
+    d = outcome.to_dict()
+    d.pop("wall_seconds")
+    d.pop("backoff_seconds")
+    return d
+
+
+class TestSchedules:
+    def test_battery_has_at_least_five_distinct_schedules(self):
+        schedules = builtin_schedules(seed=0)
+        names = [s.name for s in schedules]
+        assert len(set(names)) == len(names) >= 5
+
+    def test_combined_schedule_crashes_the_driver(self):
+        combined = schedule_by_name("combined")
+        assert combined.crashes_driver
+        assert any(isinstance(e, KillDatanode) for e in combined.events)
+        assert combined.retry is not None
+        assert combined.retry.attempt_deadline is not None
+        assert combined.make_task_faults(0) is not None
+
+    def test_task_fault_factories_return_fresh_policies(self):
+        flaky = schedule_by_name("flaky-tasks")
+        assert flaky.make_task_faults(0) is not flaky.make_task_faults(0)
+
+    def test_unknown_schedule_name(self):
+        with pytest.raises(KeyError):
+            schedule_by_name("does-not-exist")
+
+
+class TestNemesis:
+    def _conf(self, name="j"):
+        return JobConf(name=name, mapper_factory=None, splits=splits_for_workers(1))
+
+    def test_events_fire_at_their_job_index_once(self):
+        dfs = DFS(num_datanodes=3)
+        nemesis = Nemesis(
+            (KillDatanode(at_job=1, node=0), ReviveDatanode(at_job=2, node=0)),
+            dfs,
+            seed=0,
+        )
+        nemesis(self._conf("a"))
+        assert dfs.blocks.datanodes[0].alive
+        nemesis(self._conf("b"))
+        assert not dfs.blocks.datanodes[0].alive
+        nemesis(self._conf("c"))
+        assert dfs.blocks.datanodes[0].alive
+        nemesis(self._conf("d"))  # nothing left to fire
+        assert len(nemesis.ctx.log) == 2
+
+    def test_crash_event_is_consumed_before_raising(self):
+        dfs = DFS(num_datanodes=3)
+        nemesis = Nemesis((CrashDriver(at_job=0),), dfs, seed=0)
+        with pytest.raises(DriverCrashError):
+            nemesis(self._conf())
+        # The resumed driver sees the same hook; the crash must not re-fire.
+        nemesis(self._conf())
+        assert "driver crash" in nemesis.ctx.log[0]
+
+    def test_skipped_indices_still_fire(self):
+        # An event pinned to a job index the (resumed, shorter) pipeline
+        # never reaches by count still fires at the next launch.
+        dfs = DFS(num_datanodes=3)
+        nemesis = Nemesis((KillDatanode(at_job=0, node=1),), dfs, seed=0)
+        nemesis.jobs_seen = 3
+        nemesis(self._conf())
+        assert not dfs.blocks.datanodes[1].alive
+
+
+class TestCampaign:
+    def test_full_battery_is_green(self):
+        report = run_campaign(seed=0)
+        failures = {
+            o.schedule: [inv.to_dict() for inv in o.invariants if not inv.ok]
+            + ([o.error] if o.error else [])
+            for o in report.outcomes
+            if not o.ok
+        }
+        assert report.ok, failures
+        assert len(report.outcomes) >= 5
+        names = {inv.name for o in report.outcomes for inv in o.invariants}
+        assert names == {
+            "correctness",
+            "job-accounting",
+            "replication",
+            "no-orphans",
+        }
+
+    def test_combined_crash_and_resume(self):
+        outcome = run_schedule(schedule_by_name("combined"), seed=0)
+        assert outcome.ok
+        assert outcome.crashed_and_resumed
+        assert any("driver crash" in e for e in outcome.events_log)
+        assert outcome.attempts_timed_out > 0  # the hung tasks were abandoned
+        assert outcome.repair_copies > 0  # the killed node's blocks re-homed
+
+    def test_hung_task_schedule_times_out_instead_of_stalling(self):
+        outcome = run_schedule(schedule_by_name("hung-task"), seed=0)
+        assert outcome.ok
+        assert outcome.attempts_timed_out > 0
+        assert outcome.attempts_failed >= outcome.attempts_timed_out
+
+    def test_datanode_kill_triggers_auto_repair(self):
+        outcome = run_schedule(schedule_by_name("datanode-kill"), seed=0)
+        assert outcome.ok
+        assert outcome.repair_copies > 0
+
+    def test_same_seed_same_outcome(self):
+        schedule = schedule_by_name("kill-revive-corrupt")
+        first = run_schedule(schedule, seed=5)
+        second = run_schedule(schedule, seed=5)
+        assert first.ok and second.ok
+        assert _comparable(first) == _comparable(second)
+
+    def test_run_error_is_reported_not_raised(self):
+        # A schedule whose events make the run impossible must produce a
+        # red outcome, never an exception out of the harness.
+        hopeless = FaultSchedule(
+            name="kill-everything",
+            description="no datanode survives",
+            events=tuple(KillDatanode(at_job=0, node=i) for i in range(5)),
+        )
+        outcome = run_schedule(hopeless, seed=0)
+        assert not outcome.ok
+        assert outcome.error is not None
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert chaos_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "combined" in out
+
+    def test_json_single_schedule(self, capsys):
+        assert chaos_main(["--schedule", "baseline", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["schedules"][0]["schedule"] == "baseline"
+        assert {i["name"] for i in payload["schedules"][0]["invariants"]} == {
+            "correctness",
+            "job-accounting",
+            "replication",
+            "no-orphans",
+        }
+
+    def test_unknown_schedule_exits_2(self, capsys):
+        assert chaos_main(["--schedule", "nope"]) == 2
+        assert "unknown chaos schedule" in capsys.readouterr().err
+
+    def test_text_report_single_schedule(self, capsys):
+        assert chaos_main(["--schedule", "datanode-kill"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign PASSED" in out
+        assert "nemesis: before job 1" in out
