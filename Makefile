@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint chaos check bench experiments examples coverage clean
+.PHONY: install test lint chaos trace-demo check bench experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -33,7 +33,14 @@ lint:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --seed 0
 
-check: lint test chaos
+# Traced inversion at the acceptance configuration: renders the span tree,
+# per-job timeline, and critical path, then audits span totals against the
+# engine's Counters, the DFS ledger, and the paper's Table-1 cost model.
+# Exit status 0 iff every reconciliation check passes.
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro trace --n 256 --nb 25
+
+check: lint test chaos trace-demo
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

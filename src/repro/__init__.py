@@ -16,19 +16,43 @@ Quickstart
 >>> result = invert(a)
 >>> np.max(np.abs(np.eye(128) - a @ result.inverse)) < 1e-8
 True
+
+Observability
+-------------
+Wrap any of the above in :func:`observe` to capture a span tree, metrics,
+and a per-job timeline of everything that ran (see ``docs/observability.md``)::
+
+>>> from repro import observe
+>>> with observe() as obs:
+...     result = invert(a)
+>>> print(obs.render_timeline())          # doctest: +SKIP
 """
 
 from .inversion import InversionConfig, InversionResult, MatrixInverter, invert
 from .linalg import lu_decompose, LUResult
+from .mapreduce.counters import Counters
+from .telemetry import (
+    HistoryReport,
+    MetricsRegistry,
+    Observation,
+    TraceConfig,
+    observe,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Counters",
+    "HistoryReport",
     "InversionConfig",
     "InversionResult",
     "MatrixInverter",
     "LUResult",
+    "MetricsRegistry",
+    "Observation",
+    "TraceConfig",
     "invert",
     "lu_decompose",
+    "observe",
     "__version__",
 ]

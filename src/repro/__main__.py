@@ -1,151 +1,21 @@
 """Command-line entry point.
 
     python -m repro invert [--n N] [--nb NB] [--m0 M0] [--verify]
+    python -m repro describe --n N [--nb NB] [--m0 M0]
     python -m repro lint [paths...] [--n N] [--nb NB] [--m0 M0] [--self-check]
     python -m repro chaos [--seed S] [--schedule NAME] [--json] [--list]
     python -m repro experiments [--fast]
     python -m repro table <1|2|3> / figure <6|7|8> / section <7.2|7.4|7.5>
+    python -m repro trace [--n N] [--nb NB] [--jsonl PATH] [--json]
+
+Every subcommand is contributed by its subsystem through the registry in
+:mod:`repro.cli` (each exposes a ``register_commands`` hook); this module
+only dispatches.
 """
 
 from __future__ import annotations
 
-import argparse
-import sys
-
-import numpy as np
-
-
-def cmd_invert(args: argparse.Namespace) -> int:
-    from . import InversionConfig
-    from .inversion import MatrixInverter
-    from .workloads import random_dense
-
-    a = random_dense(args.n, seed=args.seed)
-    config = InversionConfig(nb=args.nb, m0=args.m0)
-    inverter = MatrixInverter(config=config)
-    result = inverter.invert(a)
-    print(f"order {args.n}, nb={args.nb}, m0={args.m0}")
-    print(f"jobs: {result.num_jobs}  (depth {result.plan.depth})")
-    print(f"driver residual:      {result.residual(a):.3e}")
-    if args.verify:
-        print(f"distributed residual: {inverter.distributed_residual(result):.3e}")
-    print(f"DFS read {result.io.bytes_read / 1e6:.1f} MB, "
-          f"written {result.io.bytes_written / 1e6:.1f} MB")
-    inverter.close()
-    return 0
-
-
-def cmd_describe(args: argparse.Namespace) -> int:
-    from .inversion import InversionPlan
-
-    plan = InversionPlan(n=args.n, nb=args.nb, m0=args.m0)
-    plan.validate()
-    print(plan.describe())
-    print("\njob schedule:")
-    for name in plan.job_schedule():
-        print(f"  {name}")
-    return 0
-
-
-def cmd_experiments(args: argparse.Namespace) -> int:
-    from .experiments.run_all import main as run_all
-
-    run_all(fast=args.fast)
-    return 0
-
-
-_ARTIFACTS = {
-    ("table", "1"): "table1",
-    ("table", "2"): "table2",
-    ("table", "3"): "table3",
-    ("figure", "6"): "fig6",
-    ("figure", "7"): "fig7",
-    ("figure", "8"): "fig8",
-    ("section", "7.2"): "sec72",
-    ("section", "7.4"): "sec74",
-    ("section", "7.5"): "sec75",
-    ("section", "8"): "sec8_spark",
-    ("study", "launch-overhead"): "launch_overhead",
-}
-
-
-def cmd_artifact(kind: str, args: argparse.Namespace) -> int:
-    import importlib
-
-    key = (kind, args.which)
-    if key not in _ARTIFACTS:
-        valid = sorted(w for k, w in _ARTIFACTS if k == kind)
-        print(f"unknown {kind} {args.which!r}; choose from {valid}", file=sys.stderr)
-        return 2
-    module = importlib.import_module(f".experiments.{_ARTIFACTS[key]}", __package__)
-    print(module.format_result(module.run()))
-    return 0
-
-
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else list(argv)
-    if argv[:1] == ["lint"]:
-        # Dispatched before the main parser so every lint flag (and any
-        # future one) passes straight through to the analysis CLI.
-        from .analysis.cli import main as lint_main
-
-        return lint_main(argv[1:])
-    if argv[:1] == ["chaos"]:
-        from .chaos.cli import main as chaos_main
-
-        return chaos_main(argv[1:])
-
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Scalable Matrix Inversion Using MapReduce (HPDC 2014) "
-        "— reproduction CLI",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    p_inv = sub.add_parser("invert", help="invert a random matrix end-to-end")
-    p_inv.add_argument("--n", type=int, default=256)
-    p_inv.add_argument("--nb", type=int, default=64)
-    p_inv.add_argument("--m0", type=int, default=4)
-    p_inv.add_argument("--seed", type=int, default=0)
-    p_inv.add_argument("--verify", action="store_true",
-                       help="also run the distributed verification job")
-    p_inv.set_defaults(fn=cmd_invert)
-
-    # Real dispatch happens above (pass-through); registered here so the
-    # subcommand shows up in --help.
-    sub.add_parser(
-        "lint",
-        help="statically validate pipelines without running them "
-        "(plan dataflow + mapper/reducer purity); see "
-        "python -m repro lint --help",
-    )
-
-    sub.add_parser(
-        "chaos",
-        help="run inversions under seeded fault schedules and check "
-        "end-to-end invariants; see python -m repro chaos --help",
-    )
-
-    p_exp = sub.add_parser("experiments", help="regenerate every table/figure")
-    p_exp.add_argument("--fast", action="store_true")
-    p_exp.set_defaults(fn=cmd_experiments)
-
-    p_desc = sub.add_parser(
-        "describe", help="show the pipeline plan for an (n, nb) configuration"
-    )
-    p_desc.add_argument("--n", type=int, required=True)
-    p_desc.add_argument("--nb", type=int, default=3200)
-    p_desc.add_argument("--m0", type=int, default=4)
-    p_desc.set_defaults(fn=cmd_describe)
-
-    for kind in ("table", "figure", "section", "study"):
-        p = sub.add_parser(kind, help=f"regenerate one {kind}")
-        p.add_argument("which")
-        p.set_defaults(fn=lambda a, k=kind: cmd_artifact(k, a))
-
-    args = parser.parse_args(argv)
-    return args.fn(args)
-
+from .cli import main
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -323,3 +323,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     findings = filter_ignored(findings, args.ignore.split(","))
     print(render_json(findings) if args.json else render_text(findings))
     return 1 if has_errors(findings) else 0
+
+
+def register_commands(registry) -> None:
+    """Hook for the ``python -m repro`` subcommand registry."""
+    registry.add_passthrough(
+        "lint",
+        main,
+        help="statically validate pipelines without running them "
+        "(plan dataflow + mapper/reducer purity); see "
+        "python -m repro lint --help",
+    )

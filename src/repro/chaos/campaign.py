@@ -39,7 +39,9 @@ from ..analysis import build_model
 from ..dfs.filesystem import DFS
 from ..inversion.config import InversionConfig
 from ..inversion.driver import InversionResult, MatrixInverter
+from ..mapreduce.master import JobFailedError
 from ..mapreduce.runtime import MapReduceRuntime, RuntimeConfig
+from ..telemetry.api import TraceConfig
 from .events import DriverCrashError, Nemesis
 from .schedule import FaultSchedule, builtin_schedules
 
@@ -67,6 +69,10 @@ class ScheduleOutcome:
     description: str
     invariants: list[InvariantResult] = field(default_factory=list)
     error: str | None = None
+    #: Telemetry trace of the run (every campaign run is traced), and — when
+    #: the error was a permanent job failure — the span of the failed job.
+    trace_id: str | None = None
+    error_span_id: str | None = None
     crashed_and_resumed: bool = False
     events_log: list[str] = field(default_factory=list)
     jobs_run: int = 0
@@ -88,6 +94,8 @@ class ScheduleOutcome:
             "description": self.description,
             "ok": self.ok,
             "error": self.error,
+            "trace_id": self.trace_id,
+            "error_span_id": self.error_span_id,
             "crashed_and_resumed": self.crashed_and_resumed,
             "invariants": [inv.to_dict() for inv in self.invariants],
             "events": list(self.events_log),
@@ -247,20 +255,31 @@ def run_schedule(
     )
     nemesis = Nemesis(schedule.events, dfs, seed)
     runtime.before_job.append(nemesis)
+    # Deterministic trace ID: same schedule + seed must reproduce the same
+    # outcome dict bit-for-bit (the campaign's determinism invariant).
+    telemetry = TraceConfig(trace_id=f"chaos-{schedule.name}-seed{seed}")
     config = InversionConfig(
-        nb=nb, m0=m0, retry=schedule.retry, max_attempts=schedule.max_attempts
+        nb=nb,
+        m0=m0,
+        retry=schedule.retry,
+        max_attempts=schedule.max_attempts,
+        telemetry=telemetry,
     )
+    outcome.trace_id = telemetry.tracer().trace_id
     inverter = MatrixInverter(config=config, runtime=runtime)
 
     try:
         try:
             result = inverter.invert(a)
         except DriverCrashError:
-            # The old driver is dead; a new one resumes from DFS state.
+            # The old driver is dead; a new one resumes from DFS state
+            # (same TraceConfig, so both runs share one trace tree).
             outcome.crashed_and_resumed = True
             result = inverter.invert(a, resume=True)
     except Exception as exc:  # noqa: BLE001 - campaign reports, never raises
         outcome.error = f"{type(exc).__name__}: {exc}"
+        if isinstance(exc, JobFailedError):
+            outcome.error_span_id = exc.job_span_id
     else:
         outcome.invariants = [
             _check_correctness(a, result),

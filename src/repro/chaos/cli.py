@@ -109,5 +109,15 @@ def main(argv: list[str] | None = None) -> int:
     return 0 if report.ok else 1
 
 
+def register_commands(registry) -> None:
+    """Hook for the ``python -m repro`` subcommand registry."""
+    registry.add_passthrough(
+        "chaos",
+        main,
+        help="run inversions under seeded fault schedules and check "
+        "end-to-end invariants; see python -m repro chaos --help",
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover
     raise SystemExit(main())

@@ -1,0 +1,147 @@
+"""Declarative subcommand registry behind ``python -m repro``.
+
+Instead of one monolithic ``argparse`` tree, each subsystem exposes a
+``register_commands(registry)`` hook and describes its own commands:
+
+* :meth:`CommandRegistry.add` — a regular subcommand: a ``configure``
+  callback adds arguments to the sub-parser, ``run`` receives the parsed
+  :class:`argparse.Namespace` and returns an exit status;
+* :meth:`CommandRegistry.add_passthrough` — a command that owns its whole
+  argument vector (it has its own parser, e.g. ``repro.analysis.cli``).
+  Passthroughs are dispatched *before* the top-level parser runs, so every
+  flag — current and future — flows straight through, while still
+  appearing in ``python -m repro --help``.
+
+:func:`build_registry` imports every subsystem hook in display order and
+returns the populated registry; ``repro.__main__`` is a two-liner on top.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: Subsystem modules probed for a ``register_commands(registry)`` hook, in
+#: the order their commands should appear in ``--help``.
+SUBSYSTEMS: tuple[str, ...] = (
+    "repro.inversion.cli",
+    "repro.analysis.cli",
+    "repro.chaos.cli",
+    "repro.experiments.cli",
+    "repro.telemetry.cli",
+)
+
+
+@dataclass(frozen=True)
+class Command:
+    """One registered subcommand."""
+
+    name: str
+    help: str
+    #: adds this command's arguments to its sub-parser (regular commands).
+    configure: Callable[[argparse.ArgumentParser], None] | None = None
+    #: handles the parsed namespace (regular commands).
+    run: Callable[[argparse.Namespace], int] | None = None
+    #: full-argv entry point (passthrough commands).
+    passthrough: Callable[[list[str]], int] | None = None
+
+
+class CommandRegistry:
+    """Collects :class:`Command` entries and dispatches ``argv`` to them."""
+
+    def __init__(
+        self,
+        prog: str = "python -m repro",
+        description: str = (
+            "Scalable Matrix Inversion Using MapReduce (HPDC 2014) "
+            "— reproduction CLI"
+        ),
+    ) -> None:
+        self.prog = prog
+        self.description = description
+        self._commands: dict[str, Command] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        run: Callable[[argparse.Namespace], int],
+        *,
+        help: str,
+        configure: Callable[[argparse.ArgumentParser], None] | None = None,
+    ) -> None:
+        """Register a regular subcommand."""
+        self._register(Command(name, help, configure=configure, run=run))
+
+    def add_passthrough(
+        self,
+        name: str,
+        main: Callable[[list[str]], int],
+        *,
+        help: str,
+    ) -> None:
+        """Register a command that parses its own argv (``main(argv)``)."""
+        self._register(Command(name, help, passthrough=main))
+
+    def _register(self, command: Command) -> None:
+        if command.name in self._commands:
+            raise ValueError(f"duplicate command {command.name!r}")
+        self._commands[command.name] = command
+
+    @property
+    def commands(self) -> list[Command]:
+        """Registered commands in registration (= display) order."""
+        return list(self._commands.values())
+
+    # -- dispatch ------------------------------------------------------------
+
+    def build_parser(self) -> argparse.ArgumentParser:
+        parser = argparse.ArgumentParser(
+            prog=self.prog, description=self.description
+        )
+        sub = parser.add_subparsers(dest="command", required=True)
+        for command in self._commands.values():
+            p = sub.add_parser(command.name, help=command.help)
+            if command.configure is not None:
+                command.configure(p)
+            if command.run is not None:
+                p.set_defaults(_run=command.run)
+        return parser
+
+    def dispatch(self, argv: Sequence[str] | None = None) -> int:
+        argv = list(sys.argv[1:] if argv is None else argv)
+        if argv:
+            command = self._commands.get(argv[0])
+            if command is not None and command.passthrough is not None:
+                return command.passthrough(argv[1:])
+        args = self.build_parser().parse_args(argv)
+        run: Callable[[argparse.Namespace], int] = args._run
+        return run(args)
+
+
+def build_registry(
+    subsystems: Sequence[str] = SUBSYSTEMS,
+) -> CommandRegistry:
+    """The fully-populated registry: every subsystem hook, in order."""
+    registry = CommandRegistry()
+    for module_name in subsystems:
+        module = importlib.import_module(module_name)
+        module.register_commands(registry)
+    return registry
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    return build_registry().dispatch(argv)
+
+
+__all__ = [
+    "Command",
+    "CommandRegistry",
+    "SUBSYSTEMS",
+    "build_registry",
+    "main",
+]

@@ -20,6 +20,7 @@ import threading
 
 from typing import TYPE_CHECKING
 
+from ..telemetry.spans import SpanKind, current_tracer
 from .blocks import BlockStore
 from .iostats import IOStats
 
@@ -103,8 +104,15 @@ class DFS:
         return DFSWriter(self, entry)
 
     def write_bytes(self, path: str, data: bytes, *, overwrite: bool = True) -> None:
-        with self.create(path, overwrite=overwrite) as w:
-            w.write(data)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            with self.create(path, overwrite=overwrite) as w:
+                w.write(data)
+            return
+        with tracer.span(path, SpanKind.DFS_WRITE) as span:
+            with self.create(path, overwrite=overwrite) as w:
+                w.write(data)
+            span.set(bytes=len(data))
 
     def write_text(self, path: str, text: str, *, overwrite: bool = True) -> None:
         self.write_bytes(path, text.encode("utf-8"), overwrite=overwrite)
@@ -112,6 +120,15 @@ class DFS:
     # -- reads ---------------------------------------------------------------
 
     def read_bytes(self, path: str, *, local: bool = False) -> bytes:
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._read_bytes(path, local=local)
+        with tracer.span(path, SpanKind.DFS_READ) as span:
+            data = self._read_bytes(path, local=local)
+            span.set(bytes=len(data))
+            return data
+
+    def _read_bytes(self, path: str, *, local: bool = False) -> bytes:
         entry = self.namenode.get_file(normalize(path))
         self.stats.record_open()
         chunks = [self.blocks.read_block(info) for info in entry.blocks]
@@ -125,6 +142,17 @@ class DFS:
     def read_range(self, path: str, offset: int, length: int, *, local: bool = False) -> bytes:
         """Read ``length`` bytes starting at ``offset``, touching only the
         blocks that overlap the range (HDFS range-read semantics)."""
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._read_range(path, offset, length, local=local)
+        with tracer.span(path, SpanKind.DFS_READ) as span:
+            data = self._read_range(path, offset, length, local=local)
+            span.set(bytes=len(data), offset=offset)
+            return data
+
+    def _read_range(
+        self, path: str, offset: int, length: int, *, local: bool = False
+    ) -> bytes:
         entry = self.namenode.get_file(normalize(path))
         if offset < 0 or length < 0:
             raise ValueError("offset and length must be non-negative")

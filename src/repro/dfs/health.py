@@ -133,6 +133,23 @@ class HealthMonitor:
         """
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
+        from ..telemetry.spans import SpanKind, current_tracer
+
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._repair(max_rounds)
+        with tracer.span("dfs-repair", SpanKind.DFS_REPAIR) as span:
+            report = self._repair(max_rounds)
+            span.set(
+                rounds=report.rounds,
+                copies_made=report.copies_made,
+                bytes_copied=report.bytes_copied,
+                corrupt_replicas_dropped=report.corrupt_replicas_dropped,
+                unrecoverable=len(report.unrecoverable),
+            )
+            return report
+
+    def _repair(self, max_rounds: int) -> RepairReport:
         blocks = self.dfs.blocks
         report = RepairReport()
         for _ in range(max_rounds):

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..linalg.blockwrap import factor_grid
 from ..mapreduce.retry import RetryPolicy
+from ..telemetry.api import TraceConfig
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,10 @@ class InversionConfig:
     max_attempts:
         Per-task attempt budget for every pipeline job (Hadoop's
         ``mapred.map.max.attempts``).
+    telemetry:
+        Explicit :class:`~repro.telemetry.TraceConfig` for the run.  ``None``
+        (default) uses the ambient tracer — enabled inside
+        ``with repro.observe():`` blocks, a zero-cost no-op otherwise.
     """
 
     nb: int = 64
@@ -71,6 +76,7 @@ class InversionConfig:
     preflight: bool = True
     retry: RetryPolicy | None = None
     max_attempts: int = 4
+    telemetry: TraceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.nb < 1:

@@ -30,6 +30,8 @@ from ..linalg import verify
 from ..linalg.lu import lu_decompose, lu_flop_count
 from ..mapreduce import MapReduceRuntime, Pipeline, PipelineRecord, RuntimeConfig
 from ..mapreduce.faults import FaultPolicy
+from ..telemetry.api import resolve_tracer
+from ..telemetry.spans import SpanKind
 from .config import InversionConfig
 from .factors import (
     combine_factors,
@@ -198,6 +200,7 @@ class MatrixInverter:
             validators=self._job_validators(),
             retry_policy=self.config.retry,
             max_attempts=self.config.max_attempts,
+            telemetry=self.config.telemetry,
         )
 
     def _prepare(
@@ -239,9 +242,7 @@ class MatrixInverter:
             for j in range(cfg.m0):
                 master.write_bytes(layout.map_input_path(j), str(j).encode())
 
-        pipeline.master_phase("write-input", write_inputs)
-        _, written = master.take_io()
-        pipeline.record.master_phases[-1].bytes_written = written
+        pipeline.master_phase("write-input", write_inputs, io=master)
         return layout, pipeline, master
 
     def _node_complete(self, layout: Layout, node: PlanNode) -> bool:
@@ -295,11 +296,11 @@ class MatrixInverter:
                 )
 
             pipeline.master_phase(
-                f"master-lu:{node.dir}", leaf_lu, flops=lu_flop_count(node.n)
+                f"master-lu:{node.dir}",
+                leaf_lu,
+                flops=lu_flop_count(node.n),
+                io=master,
             )
-            r, w = master.take_io()
-            pipeline.record.master_phases[-1].bytes_read = r
-            pipeline.record.master_phases[-1].bytes_written = w
             return
 
         self._decompose(layout, pipeline, master, node.child1, resume=resume)
@@ -318,10 +319,7 @@ class MatrixInverter:
             def do_combine() -> None:
                 combine_factors(layout, node, master, master)
 
-            pipeline.master_phase(f"combine:{node.dir}", do_combine)
-            r, w = master.take_io()
-            pipeline.record.master_phases[-1].bytes_read = r
-            pipeline.record.master_phases[-1].bytes_written = w
+            pipeline.master_phase(f"combine:{node.dir}", do_combine, io=master)
 
     def _assemble_inverse(
         self, layout: Layout, pipeline: Pipeline, master: MasterIO
@@ -334,10 +332,7 @@ class MatrixInverter:
         def collect() -> None:
             out[:] = read_final_inverse(layout, master)
 
-        pipeline.master_phase("collect-output", collect)
-        r, w = master.take_io()
-        pipeline.record.master_phases[-1].bytes_read = r
-        pipeline.record.master_phases[-1].bytes_written = w
+        pipeline.master_phase("collect-output", collect, io=master)
         return out
 
     # -- public operations ---------------------------------------------------------
@@ -351,22 +346,31 @@ class MatrixInverter:
         """
         a = np.asarray(a, dtype=np.float64)
         before = self.runtime.dfs.stats.snapshot()
-        layout, pipeline, master = self._prepare(a, resume=resume)
-        tree = layout.plan.tree
+        tracer = resolve_tracer(self.config.telemetry)
+        with tracer.span("invert", SpanKind.RUN) as run_span:
+            if tracer.enabled:
+                run_span.set(
+                    n=a.shape[0], nb=self.config.nb, m0=self.config.m0,
+                    resume=resume,
+                )
+            layout, pipeline, master = self._prepare(a, resume=resume)
+            tree = layout.plan.tree
 
-        partition_done = resume and not tree.is_leaf and all(
-            self.runtime.dfs.exists(p)
-            for node in tree.input_nodes()
-            if not node.is_leaf
-            for p in layout.of(node).a3.file_paths()
-        ) and self.runtime.dfs.exists(layout.map_input_path(0))
-        if not tree.is_leaf and not partition_done:
-            pipeline.run_job(partition_job(layout))
-        self._decompose(layout, pipeline, master, tree, resume=resume)
-        pipeline.run_job(invert_job(layout))
-        inverse = self._assemble_inverse(layout, pipeline, master)
+            partition_done = resume and not tree.is_leaf and all(
+                self.runtime.dfs.exists(p)
+                for node in tree.input_nodes()
+                if not node.is_leaf
+                for p in layout.of(node).a3.file_paths()
+            ) and self.runtime.dfs.exists(layout.map_input_path(0))
+            if not tree.is_leaf and not partition_done:
+                pipeline.run_job(partition_job(layout))
+            self._decompose(layout, pipeline, master, tree, resume=resume)
+            pipeline.run_job(invert_job(layout))
+            inverse = self._assemble_inverse(layout, pipeline, master)
 
         io = self.runtime.dfs.stats.snapshot() - before
+        if tracer.enabled:
+            tracer.metrics.absorb_iostats(io)
         return InversionResult(
             inverse=inverse,
             plan=layout.plan,
@@ -406,27 +410,31 @@ class MatrixInverter:
             dfs.delete(cfg.root, recursive=True)
 
         before = dfs.stats.snapshot()
-        master = MasterIO(dfs)
-        pipeline = self._pipeline()
+        tracer = resolve_tracer(self.config.telemetry)
+        with tracer.span("invert-path", SpanKind.RUN) as run_span:
+            if tracer.enabled:
+                run_span.set(n=rows, nb=cfg.nb, m0=cfg.m0, path=path)
+            master = MasterIO(dfs)
+            pipeline = self._pipeline()
 
-        def link_inputs() -> None:
-            # Copy the matrix into the work directory (HDFS has no hardlinks;
-            # a rename would destroy the caller's file).
-            master.write_bytes(layout.input_path, dfs.read_bytes(path))
-            for j in range(cfg.m0):
-                master.write_bytes(layout.map_input_path(j), str(j).encode())
+            def link_inputs() -> None:
+                # Copy the matrix into the work directory (HDFS has no
+                # hardlinks; a rename would destroy the caller's file).
+                master.write_bytes(layout.input_path, dfs.read_bytes(path))
+                for j in range(cfg.m0):
+                    master.write_bytes(layout.map_input_path(j), str(j).encode())
 
-        pipeline.master_phase("link-input", link_inputs)
-        _, written = master.take_io()
-        pipeline.record.master_phases[-1].bytes_written = written
+            pipeline.master_phase("link-input", link_inputs, io=master)
 
-        tree = plan.tree
-        if not tree.is_leaf:
-            pipeline.run_job(partition_job(layout))
-        self._decompose(layout, pipeline, master, tree)
-        pipeline.run_job(invert_job(layout))
-        inverse = self._assemble_inverse(layout, pipeline, master)
+            tree = plan.tree
+            if not tree.is_leaf:
+                pipeline.run_job(partition_job(layout))
+            self._decompose(layout, pipeline, master, tree)
+            pipeline.run_job(invert_job(layout))
+            inverse = self._assemble_inverse(layout, pipeline, master)
         io = dfs.stats.snapshot() - before
+        if tracer.enabled:
+            tracer.metrics.absorb_iostats(io)
         return InversionResult(
             inverse=inverse,
             plan=plan,
@@ -463,14 +471,18 @@ class MatrixInverter:
     def lu(self, a: np.ndarray) -> LUFactors:
         """Run only the LU stage and assemble ``P A = L U``."""
         a = np.asarray(a, dtype=np.float64)
-        layout, pipeline, master = self._prepare(a)
-        tree = layout.plan.tree
-        if not tree.is_leaf:
-            pipeline.run_job(partition_job(layout))
-        self._decompose(layout, pipeline, master, tree)
-        lower = read_lower(layout, tree, master)
-        upper = read_upper(layout, tree, master)
-        perm = read_perm(layout, tree, master)
+        tracer = resolve_tracer(self.config.telemetry)
+        with tracer.span("lu", SpanKind.RUN) as run_span:
+            if tracer.enabled:
+                run_span.set(n=a.shape[0], nb=self.config.nb, m0=self.config.m0)
+            layout, pipeline, master = self._prepare(a)
+            tree = layout.plan.tree
+            if not tree.is_leaf:
+                pipeline.run_job(partition_job(layout))
+            self._decompose(layout, pipeline, master, tree)
+            lower = read_lower(layout, tree, master)
+            upper = read_upper(layout, tree, master)
+            perm = read_perm(layout, tree, master)
         return LUFactors(
             lower=lower,
             upper=upper,

@@ -7,7 +7,10 @@ Hadoop-style counters, and multi-job pipelines with master-side phases.
 """
 
 from .counters import Counters
-from .history import HistoryReport, JobSummary
+
+# HistoryReport/JobSummary moved to repro.telemetry.history; import from the
+# new home directly (the .history shim warns) but keep re-exporting them here.
+from ..telemetry.history import HistoryReport, JobSummary
 from .faults import (
     ComposedFaults,
     DelayAttempt,

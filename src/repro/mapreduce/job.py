@@ -18,9 +18,12 @@ simulated cluster.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.api import TraceConfig
 
 from ..dfs import formats
 from ..dfs.filesystem import DFS
@@ -212,6 +215,10 @@ class JobConf:
     #: Backoff/deadline behaviour for retries (:class:`RetryPolicy`); ``None``
     #: retries immediately with no attempt deadline, as Hadoop does by default.
     retry_policy: RetryPolicy | None = None
+    #: Per-job telemetry override (:class:`~repro.telemetry.TraceConfig`).
+    #: ``None`` falls back to the runtime's config, then the ambient tracer
+    #: activated by :func:`repro.observe`.
+    telemetry: "TraceConfig | None" = None
 
     def __post_init__(self) -> None:
         if not self.splits:

@@ -28,10 +28,12 @@ machinery Section 7.4's end-to-end fault story depends on:
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any
 
 from ..dfs.filesystem import DFS
+from ..telemetry.spans import NULL_TRACER, NullTracer, Span, SpanKind, Tracer
 from .counters import (
     Counters,
     FAILED_MAPS,
@@ -70,10 +72,15 @@ class AttemptFailure:
     node: int | None
     error: Exception
     timed_out: bool = False
+    #: Telemetry span of this attempt, when a tracer was active.
+    span_id: str | None = None
 
     def describe(self) -> str:
         kind = "timeout" if self.timed_out else "error"
-        return f"attempt {self.attempt.attempt} on node {self.node}: {kind} {self.error!r}"
+        where = f"attempt {self.attempt.attempt} on node {self.node}"
+        if self.span_id:
+            where += f" (span {self.span_id})"
+        return f"{where}: {kind} {self.error!r}"
 
 
 class JobFailedError(RuntimeError):
@@ -91,17 +98,25 @@ class JobFailedError(RuntimeError):
         task: TaskId,
         last_error: Exception,
         attempts: list[AttemptFailure] | None = None,
+        trace_id: str | None = None,
+        job_span_id: str | None = None,
     ) -> None:
         attempts = list(attempts or [])
         message = f"job {job_name!r}: task {task} failed permanently: {last_error!r}"
         if attempts:
             history = "; ".join(a.describe() for a in attempts)
             message += f" [history: {history}]"
+        if trace_id:
+            message += f" [trace {trace_id}]"
         super().__init__(message)
         self.job_name = job_name
         self.task = task
         self.last_error = last_error
         self.attempts = attempts
+        #: Telemetry correlation: the trace and job span the failure happened
+        #: under, when a tracer was active (``None`` otherwise).
+        self.trace_id = trace_id
+        self.job_span_id = job_span_id
 
     @property
     def failed_nodes(self) -> list[int]:
@@ -230,12 +245,20 @@ class JobTracker:
         job_id: JobId,
         work_items: list[Any],
         run_one,
+        tracer: Tracer | NullTracer = NULL_TRACER,
+        job_span: Span | None = None,
     ) -> tuple[list[Any], _PhaseStats]:
         """Drive one phase (map or reduce) to completion.
 
         ``work_items[i]`` is the input of logical task *i*; ``run_one(item,
         attempt_id, node)`` executes one attempt on a simulated worker node.
         Returns per-task results in task order plus launch/failure statistics.
+
+        With an enabled ``tracer``, each retry wave gets a WAVE span under
+        ``job_span`` and each attempt a TASK span under its wave.  Task spans
+        are opened *inside* the worker thread so DFS operations performed by
+        the attempt nest under them; the parent is passed explicitly because
+        worker threads do not inherit the driver's context.
         """
         # Tell name-aware fault policies which job is running.
         if hasattr(self.fault_policy, "job_name"):
@@ -250,6 +273,8 @@ class JobTracker:
         failures: dict[int, list[AttemptFailure]] = {i: [] for i in pending}
         last_failed_node: dict[int, int] = {}
         timed_out_tasks: set[int] = set()
+        attempt_spans: dict[tuple[int, int], Span] = {}
+        wave_no = 0
 
         def fail_permanently(idx: int) -> None:
             history = failures[idx]
@@ -259,7 +284,40 @@ class JobTracker:
                 TaskId(job=job_id, kind=kind, index=idx),
                 last,
                 attempts=history,
+                trace_id=tracer.trace_id or None,
+                job_span_id=job_span.span_id if job_span is not None else None,
             )
+
+        def make_thunk(idx: int, attempt_id: TaskAttemptId, node: int, wave_span):
+            item = work_items[idx]
+            if wave_span is None:
+                return lambda: run_one(item, attempt_id, node)
+
+            def traced() -> Any:
+                with tracer.span(
+                    str(attempt_id),
+                    SpanKind.TASK,
+                    parent=wave_span,
+                    attrs={
+                        "task": idx,
+                        "attempt": attempt_id.attempt,
+                        "node": node,
+                        "phase": kind.value,
+                    },
+                ) as tspan:
+                    attempt_spans[(idx, attempt_id.attempt)] = tspan
+                    out = run_one(item, attempt_id, node)
+                    trace = getattr(out, "trace", None)
+                    if trace is not None:
+                        tspan.set(
+                            bytes_read=trace.bytes_read,
+                            bytes_written=trace.bytes_written,
+                            bytes_shuffled=trace.bytes_shuffled,
+                            flops=trace.flops,
+                        )
+                    return out
+
+            return traced
 
         while pending:
             # Backoff before a retry wave: the wave launches together, so
@@ -295,12 +353,24 @@ class JobTracker:
             if not wave:
                 fail_permanently(pending[0])
 
-            thunks = [
-                (lambda item=work_items[idx], aid=attempt_id, n=node: run_one(item, aid, n))
-                for idx, attempt_id, node in wave
-            ]
-            stats.launched += len(thunks)
-            outcomes = self.executor.run_all(thunks, deadline=deadline)
+            wave_ctx = (
+                tracer.span(
+                    f"{kind.value}-wave-{wave_no}",
+                    SpanKind.WAVE,
+                    parent=job_span,
+                    attrs={"phase": kind.value, "wave": wave_no, "tasks": len(wave)},
+                )
+                if tracer.enabled
+                else nullcontext(None)
+            )
+            with wave_ctx as wave_span:
+                thunks = [
+                    make_thunk(idx, attempt_id, node, wave_span)
+                    for idx, attempt_id, node in wave
+                ]
+                stats.launched += len(thunks)
+                outcomes = self.executor.run_all(thunks, deadline=deadline)
+            wave_no += 1
             self.node_health.tick()
 
             still_pending: set[int] = set(pending)
@@ -312,12 +382,14 @@ class JobTracker:
                     if timed_out:
                         stats.timeouts += 1
                         timed_out_tasks.add(idx)
+                    failed_span = attempt_spans.get((idx, attempt_id.attempt))
                     failures[idx].append(
                         AttemptFailure(
                             attempt=attempt_id,
                             node=node,
                             error=outcome,
                             timed_out=timed_out,
+                            span_id=failed_span.span_id if failed_span else None,
                         )
                     )
                     last_failed_node[idx] = node
@@ -328,6 +400,11 @@ class JobTracker:
                     # First success wins; later duplicates are discarded.
                     results[idx] = outcome
                     still_pending.discard(idx)
+                    # Stamp the winning attempt so reconciliation counts each
+                    # task's bytes exactly once even under speculation.
+                    won = attempt_spans.get((idx, attempt_id.attempt))
+                    if won is not None:
+                        won.set(committed=True)
             exhausted = [
                 idx
                 for idx in still_pending
@@ -347,7 +424,13 @@ class JobTracker:
 
     # -- job execution ----------------------------------------------------------
 
-    def run_job(self, conf: JobConf, job_id: JobId) -> JobResult:
+    def run_job(
+        self,
+        conf: JobConf,
+        job_id: JobId,
+        tracer: Tracer | NullTracer = NULL_TRACER,
+        job_span: Span | None = None,
+    ) -> JobResult:
         counters = Counters()
 
         # Map phase.
@@ -359,7 +442,8 @@ class JobTracker:
             )
 
         map_results, map_stats = self._run_phase(
-            conf, TaskKind.MAP, job_id, list(conf.splits), run_map
+            conf, TaskKind.MAP, job_id, list(conf.splits), run_map,
+            tracer=tracer, job_span=job_span,
         )
         counters.increment(TASK_GROUP, LAUNCHED_MAPS, map_stats.launched)
         counters.increment(TASK_GROUP, FAILED_MAPS, map_stats.failed)
@@ -403,6 +487,8 @@ class JobTracker:
             job_id,
             [merged[p] for p in range(conf.num_reduce_tasks)],
             run_reduce,
+            tracer=tracer,
+            job_span=job_span,
         )
         counters.increment(TASK_GROUP, LAUNCHED_REDUCES, reduce_stats.launched)
         counters.increment(TASK_GROUP, FAILED_REDUCES, reduce_stats.failed)

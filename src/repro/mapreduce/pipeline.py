@@ -14,12 +14,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Protocol, Sequence
 
+from ..telemetry.api import TraceConfig, resolve_tracer
+from ..telemetry.spans import SpanKind
 from .job import JobConf
 from .retry import RetryPolicy
 from .runtime import MapReduceRuntime
 from .types import JobResult, TaskTrace
+
+
+class PhaseIO(Protocol):
+    """Byte-accounting adapter a master phase runs against (e.g.
+    :class:`~repro.inversion.driver.MasterIO`)."""
+
+    def take_io(self) -> tuple[int, int]: ...
 
 
 @dataclass
@@ -83,11 +92,13 @@ class Pipeline:
         validators: Sequence[Callable[[JobConf], None]] = (),
         retry_policy: RetryPolicy | None = None,
         max_attempts: int | None = None,
+        telemetry: TraceConfig | None = None,
     ) -> None:
         self.runtime = runtime
         self.validators: list[Callable[[JobConf], None]] = list(validators)
         self.retry_policy = retry_policy
         self.max_attempts = max_attempts
+        self.telemetry = telemetry
         self.record = PipelineRecord()
 
     def run_job(self, conf: JobConf) -> JobResult:
@@ -95,6 +106,8 @@ class Pipeline:
             conf.retry_policy = self.retry_policy
         if self.max_attempts is not None:
             conf.max_attempts = self.max_attempts
+        if self.telemetry is not None and conf.telemetry is None:
+            conf.telemetry = self.telemetry
         for validate in self.validators:
             validate(conf)
         result = self.runtime.run_job(conf)
@@ -109,11 +122,34 @@ class Pipeline:
         flops: float = 0.0,
         bytes_read: int = 0,
         bytes_written: int = 0,
+        io: PhaseIO | None = None,
     ) -> Any:
         """Run ``fn`` serially on the (conceptual) master node, recording its
-        declared resource usage for the cluster replay."""
+        declared resource usage for the cluster replay.
+
+        When ``io`` is given, the bytes the phase moved are drained from it
+        (``take_io``) and added to the declared counts — so callers don't
+        have to reach back into the record, and the phase's telemetry span
+        carries the byte attributes before it closes.
+        """
+        tracer = resolve_tracer(self.telemetry)
         start = time.perf_counter()
-        out = fn()
+        if tracer.enabled:
+            with tracer.span(name, SpanKind.MASTER_PHASE) as span:
+                out = fn()
+                if io is not None:
+                    r, w = io.take_io()
+                    bytes_read += r
+                    bytes_written += w
+                span.set(
+                    bytes_read=bytes_read, bytes_written=bytes_written, flops=flops
+                )
+        else:
+            out = fn()
+            if io is not None:
+                r, w = io.take_io()
+                bytes_read += r
+                bytes_written += w
         phase = MasterPhase(
             name=name,
             flops=flops,

@@ -28,6 +28,8 @@ from typing import Callable
 
 from ..dfs.filesystem import DFS
 from ..dfs.health import RepairReport
+from ..telemetry.api import TraceConfig, resolve_tracer
+from ..telemetry.spans import SpanKind
 from .faults import FaultPolicy
 from .job import JobConf
 from .master import JobFailedError, JobTracker
@@ -51,6 +53,10 @@ class RuntimeConfig:
     max_node_failures: int = 3
     #: Scheduling waves a blacklisted node sits out before decaying back in.
     blacklist_window: int = 3
+    #: Telemetry for every job this runtime runs
+    #: (:class:`~repro.telemetry.TraceConfig`); ``None`` defers to each job
+    #: conf and then to the ambient tracer (:func:`repro.observe`).
+    telemetry: TraceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -117,8 +123,24 @@ class MapReduceRuntime:
             hook(conf)
         self._maybe_auto_repair()
         job_id = JobId(next(self._job_ids))
+        tracer = resolve_tracer(
+            conf.telemetry if conf.telemetry is not None else self.config.telemetry
+        )
         start = time.perf_counter()
-        result = self._tracker.run_job(conf, job_id)
+        if not tracer.enabled:
+            result = self._tracker.run_job(conf, job_id)
+        else:
+            with tracer.span(
+                conf.name, SpanKind.JOB, attrs={"job": str(job_id)}
+            ) as job_span:
+                result = self._tracker.run_job(
+                    conf, job_id, tracer=tracer, job_span=job_span
+                )
+                job_span.set(
+                    attempts_launched=result.attempts_launched,
+                    attempts_failed=result.attempts_failed,
+                )
+            tracer.metrics.absorb_counters(result.counters)
         result.wall_seconds = time.perf_counter() - start
         self.history.append(result)
         return result

@@ -1,0 +1,281 @@
+"""Counters, gauges, and fixed-bucket histograms behind one registry.
+
+The :class:`MetricsRegistry` is the telemetry subsystem's *metrics* half — the
+queryable, exportable successor to reaching into raw
+:class:`~repro.mapreduce.counters.Counters` groups and
+:class:`~repro.dfs.iostats.IOStats` fields by hand.  Engine counters and DFS
+I/O statistics are *absorbed* into the registry under stable dotted names
+(``mapreduce.TaskCounters.LAUNCHED_MAPS``, ``dfs.bytes_read``), so one object
+answers every "how much" question about a run and round-trips losslessly
+through JSON (:meth:`MetricsRegistry.to_dict` /
+:meth:`MetricsRegistry.from_dict`).
+
+Histograms use *fixed* bucket boundaries chosen at creation (the Prometheus
+model): observation cost is one binary search and one increment, merging two
+histograms is element-wise addition, and exported data is comparable across
+runs because the boundaries travel with it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dfs.iostats import IOSnapshot
+    from ..mapreduce.counters import Counters
+
+#: Default duration buckets (seconds): 1 ms .. ~2 min, roughly x4 steps.
+DURATION_BUCKETS: tuple[float, ...] = (
+    0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0, 128.0,
+)
+
+#: Default size buckets (bytes): 1 KiB .. 4 GiB, x8 steps.
+SIZE_BUCKETS: tuple[float, ...] = (
+    1024.0, 8192.0, 65536.0, 524288.0, 4194304.0, 33554432.0,
+    268435456.0, 2147483648.0, 4294967296.0,
+)
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-written floating-point metric."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram: counts per bucket plus sum and count.
+
+    ``boundaries`` are the *upper* edges of the finite buckets; one implicit
+    overflow bucket catches everything larger.  Boundaries are immutable for
+    the histogram's lifetime so exports from different processes merge.
+    """
+
+    __slots__ = ("name", "boundaries", "bucket_counts", "total", "count", "_lock")
+
+    def __init__(self, name: str, boundaries: Iterable[float]) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        self.name = name
+        self.boundaries = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.total = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            self.bucket_counts[idx] += 1
+            self.total += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper boundary of the bucket holding the
+        q-th observation (conservative, like Prometheus' histogram_quantile)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            if not self.count:
+                return 0.0
+            rank = q * self.count
+            seen = 0
+            for idx, n in enumerate(self.bucket_counts):
+                seen += n
+                if seen >= rank and n:
+                    if idx < len(self.boundaries):
+                        return self.boundaries[idx]
+                    return self.boundaries[-1]
+        return self.boundaries[-1]
+
+
+class MetricsRegistry:
+    """Thread-safe name-keyed home for counters, gauges, and histograms.
+
+    Metric access is get-or-create: ``registry.counter("jobs")`` returns the
+    same object every call, so instrumentation sites need no setup phase.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- get-or-create ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            found = self._counters.get(name)
+            if found is None:
+                found = self._counters[name] = Counter(name)
+            return found
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            found = self._gauges.get(name)
+            if found is None:
+                found = self._gauges[name] = Gauge(name)
+            return found
+
+    def histogram(
+        self, name: str, boundaries: Iterable[float] = DURATION_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = self._histograms[name] = Histogram(name, boundaries)
+            return found
+
+    # -- absorption of legacy accounting --------------------------------------
+
+    def absorb_counters(self, counters: "Counters", prefix: str = "mapreduce") -> None:
+        """Fold a job's :class:`~repro.mapreduce.counters.Counters` groups in
+        as ``<prefix>.<group>.<name>`` counters (summing across jobs)."""
+        for group, names in counters.as_dict().items():
+            for name, value in names.items():
+                self.counter(f"{prefix}.{group}.{name}").increment(value)
+
+    def absorb_iostats(self, snapshot: "IOSnapshot", prefix: str = "dfs") -> None:
+        """Record a DFS :class:`~repro.dfs.iostats.IOSnapshot` as gauges
+        (``dfs.bytes_read``, ``dfs.bytes_transferred``, ...)."""
+        for field_name in (
+            "bytes_read",
+            "bytes_written",
+            "bytes_transferred",
+            "files_created",
+            "files_opened",
+            "files_deleted",
+            "read_ops",
+            "write_ops",
+            "repair_copies",
+            "corrupt_replicas_dropped",
+        ):
+            self.gauge(f"{prefix}.{field_name}").set(
+                float(getattr(snapshot, field_name))
+            )
+
+    # -- export / import -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of every metric (stable key order)."""
+        with self._lock:
+            counters = {n: c.value for n, c in sorted(self._counters.items())}
+            gauges = {n: g.value for n, g in sorted(self._gauges.items())}
+            histograms = {
+                n: {
+                    "boundaries": list(h.boundaries),
+                    "bucket_counts": list(h.bucket_counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for n, h in sorted(self._histograms.items())
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output (exact round-trip)."""
+        registry = MetricsRegistry()
+        for name, value in data.get("counters", {}).items():
+            registry.counter(name).increment(int(value))
+        for name, value in data.get("gauges", {}).items():
+            registry.gauge(name).set(float(value))
+        for name, spec in data.get("histograms", {}).items():
+            hist = registry.histogram(name, spec["boundaries"])
+            hist.bucket_counts = [int(c) for c in spec["bucket_counts"]]
+            hist.total = float(spec["total"])
+            hist.count = int(spec["count"])
+        return registry
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (counters/histograms add,
+        gauges take the other's value)."""
+        snap = other.to_dict()
+        for name, value in snap["counters"].items():
+            self.counter(name).increment(int(value))
+        for name, value in snap["gauges"].items():
+            self.gauge(name).set(float(value))
+        for name, spec in snap["histograms"].items():
+            hist = self.histogram(name, spec["boundaries"])
+            if list(hist.boundaries) != list(spec["boundaries"]):
+                raise ValueError(
+                    f"histogram {name!r}: boundary mismatch, cannot merge"
+                )
+            for idx, count in enumerate(spec["bucket_counts"]):
+                hist.bucket_counts[idx] += int(count)
+            hist.total += float(spec["total"])
+            hist.count += int(spec["count"])
+
+    def format(self) -> str:
+        """Human-readable dump, one metric per line."""
+        snap = self.to_dict()
+        lines: list[str] = []
+        for name, value in snap["counters"].items():
+            lines.append(f"counter   {name} = {value}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"gauge     {name} = {value:g}")
+        for name, spec in snap["histograms"].items():
+            count = spec["count"]
+            mean = spec["total"] / count if count else 0.0
+            lines.append(f"histogram {name}: count={count} mean={mean:.4g}")
+        return "\n".join(lines)
+
+
+__all__ = [
+    "Counter",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SIZE_BUCKETS",
+]

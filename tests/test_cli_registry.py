@@ -1,0 +1,91 @@
+"""The declarative subcommand registry behind ``python -m repro``."""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import SUBSYSTEMS, CommandRegistry, build_registry
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "repro_help.txt"
+
+
+class TestRegistry:
+    def test_regular_command_dispatch(self):
+        registry = CommandRegistry()
+        seen = {}
+
+        def run(args: argparse.Namespace) -> int:
+            seen["n"] = args.n
+            return 7
+
+        registry.add(
+            "demo",
+            run,
+            help="demo",
+            configure=lambda p: p.add_argument("--n", type=int, default=3),
+        )
+        assert registry.dispatch(["demo", "--n", "9"]) == 7
+        assert seen == {"n": 9}
+
+    def test_passthrough_owns_argv(self):
+        """A passthrough command receives its argv verbatim — flags the
+        top-level parser has never heard of flow through untouched."""
+        registry = CommandRegistry()
+        captured = {}
+
+        def main(argv: list[str]) -> int:
+            captured["argv"] = argv
+            return 0
+
+        registry.add_passthrough("raw", main, help="raw")
+        assert registry.dispatch(["raw", "--no-such-flag", "x"]) == 0
+        assert captured["argv"] == ["--no-such-flag", "x"]
+
+    def test_duplicate_name_rejected(self):
+        registry = CommandRegistry()
+        registry.add("a", lambda args: 0, help="a")
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add_passthrough("a", lambda argv: 0, help="a")
+
+    def test_registration_order_is_display_order(self):
+        names = [c.name for c in build_registry().commands]
+        assert names == [
+            "invert",
+            "describe",
+            "lint",
+            "chaos",
+            "experiments",
+            "table",
+            "figure",
+            "section",
+            "study",
+            "trace",
+        ]
+
+    def test_every_subsystem_contributes(self):
+        """Each module in SUBSYSTEMS registers at least one command."""
+        for module_name in SUBSYSTEMS:
+            registry = build_registry([module_name])
+            assert registry.commands, module_name
+
+
+class TestGoldenHelp:
+    def test_help_matches_golden(self):
+        """``python -m repro --help`` is a public surface; lock it."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": str(
+                    pathlib.Path(__file__).parent.parent / "src"
+                ),
+                "COLUMNS": "80",
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 0
+        assert proc.stdout == GOLDEN.read_text()

@@ -10,8 +10,10 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.adaptive",
+    "repro.analysis",
     "repro.apps",
     "repro.baselines",
+    "repro.chaos",
     "repro.cluster",
     "repro.dfs",
     "repro.experiments",
@@ -22,6 +24,7 @@ PACKAGES = [
     "repro.scalapack",
     "repro.spark",
     "repro.systemml",
+    "repro.telemetry",
     "repro.workloads",
 ]
 
