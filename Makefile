@@ -10,12 +10,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static analysis. The repro linter (plan dataflow + mapper/reducer purity)
-# needs only the runtime deps; ruff and mypy run when installed (dev extras)
-# and are skipped with a notice otherwise, so `make lint` works everywhere.
+# Static analysis. The repro linter (plan dataflow + mapper/reducer purity
+# + lock discipline) needs only the runtime deps; ruff and mypy run when
+# installed (dev extras) and are skipped with a notice otherwise, so
+# `make lint` works everywhere.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint --self-check
 	PYTHONPATH=src $(PYTHON) -m repro lint examples/*.py src/repro/experiments/*.py
+	PYTHONPATH=src $(PYTHON) -m repro lint --concurrency
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests examples; \
 	else \

@@ -13,6 +13,9 @@ task executes.  This package does exactly that:
 * :mod:`~repro.analysis.purity` — mapper/reducer purity rules (``PU0xx``):
   closure/global mutation, input mutation, nondeterministic APIs — the
   hazard classes that break task retries and speculative execution;
+* :mod:`~repro.analysis.concurrency` — lock-discipline rules (``CN0xx``):
+  ``# guarded-by:`` lockset checking, lock-order deadlock cycles, locks
+  held across blocking calls — proved over the threaded engine itself;
 * :mod:`~repro.analysis.cli` — ``python -m repro lint``.
 
 The driver runs :func:`preflight_check` before each pipeline (opt out with
@@ -20,6 +23,13 @@ The driver runs :func:`preflight_check` before each pipeline (opt out with
 """
 
 from .cli import lint_pipeline, lint_source_file
+from .concurrency import (
+    THREADED_MODULES,
+    ConcurrencyAnalyzer,
+    analyze_concurrency_files,
+    analyze_concurrency_sources,
+    default_threaded_files,
+)
 from .findings import (
     RULES,
     Finding,
@@ -37,6 +47,7 @@ from .planlint import lint_model, lint_plan
 from .purity import analyze_callable, analyze_job, analyze_source
 
 __all__ = [
+    "ConcurrencyAnalyzer",
     "Finding",
     "PipelineModel",
     "PreflightError",
@@ -44,10 +55,14 @@ __all__ = [
     "RuleSpec",
     "Severity",
     "StepModel",
+    "THREADED_MODULES",
     "analyze_callable",
+    "analyze_concurrency_files",
+    "analyze_concurrency_sources",
     "analyze_job",
     "analyze_source",
     "build_model",
+    "default_threaded_files",
     "filter_ignored",
     "has_errors",
     "lint_model",

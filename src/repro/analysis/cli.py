@@ -10,8 +10,13 @@ Three modes:
   in the files, and plan-lint any pipeline configuration statically
   resolvable from the source (literal ``InversionConfig``/``InversionPlan``
   arguments, including module-level integer constants);
+* **concurrency mode** (``--concurrency``): run the lockset / lock-order
+  analyzer (rules ``CN001``–``CN008``) over the given paths, or over the
+  engine's threaded modules (``repro.mapreduce``, ``repro.dfs``,
+  ``repro.telemetry``) when no paths are given;
 * **--self-check**: assert the analyzers themselves work — clean plans
-  produce no findings, seeded defects produce the expected rule ids — so
+  produce no findings, seeded defects produce the expected rule ids, and
+  the engine's threaded modules pass the concurrency analyzer — so
   ``make lint`` has a real gate even where ruff/mypy are unavailable.
 
 Exit status is nonzero iff any error-severity finding survives
@@ -35,6 +40,7 @@ from .findings import (
     render_json,
     render_text,
 )
+from .concurrency import analyze_concurrency_files, default_threaded_files
 from .model import PipelineModel, build_model
 from .planlint import lint_model, lint_plan
 from .purity import analyze_job, analyze_source
@@ -253,6 +259,152 @@ def _self_check(verbose: bool = True) -> int:
         f.rule for f in analyze_callable(len)
     } == {"PU001"})
 
+    def clockbound_mapper(ctx, split):
+        from random import Random
+
+        rng = Random()
+        for key in {1, 2, 3}:
+            ctx.emit(key, rng.random())
+
+    pu67_rules = {f.rule for f in analyze_callable(clockbound_mapper)}
+    check(
+        "unseeded Random + set iteration -> PU006/PU007",
+        {"PU006", "PU007"} <= pu67_rules,
+        str(pu67_rules),
+    )
+
+    # 4. Concurrency analyzer: seeded-bad sources fire each CN rule, the
+    # engine's real threaded modules are clean.
+    from .concurrency import analyze_concurrency_sources
+
+    bad_store = """\
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded-by: _lock
+
+    def get(self, key):
+        return self._items[key]
+
+    def put(self, key, value):
+        self._refresh(key)
+        self._items[key] = value
+
+    def _refresh(self, key):  # requires-lock: _lock
+        self._items.pop(key, None)
+
+    def snapshot(self):
+        return self._items
+
+    def drain(self, worker_thread):
+        with self._lock:
+            worker_thread.join()
+
+class Mislabeled:
+    def __init__(self):
+        self.state = 0  # guarded-by: _mutex
+
+class Pool:
+    def submit_all(self, items):
+        out = []
+        def task(item):
+            out.append(item)
+        return [task for _ in items]
+"""
+    cn_rules = {
+        f.rule
+        for f in analyze_concurrency_sources([(bad_store, "bad_store.py")])
+    }
+    check(
+        "seeded concurrency defects -> CN001/2/3/4/6/7/8",
+        {"CN001", "CN002", "CN003", "CN004", "CN006", "CN007", "CN008"}
+        <= cn_rules,
+        str(cn_rules),
+    )
+
+    bad_order = """\
+import threading
+
+class Left:
+    def __init__(self, right: "Right"):
+        self._lock = threading.Lock()
+        self.right = right
+
+    def poke(self):
+        with self._lock:
+            with self.right._lock:
+                pass
+
+class Right:
+    def __init__(self, left: "Left"):
+        self._lock = threading.Lock()
+        self.left = left
+
+    def poke(self):
+        with self._lock:
+            with self.left._lock:
+                pass
+
+class Caller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.helper = Helper()
+
+    def outer(self):
+        with self._lock:
+            self.helper.inner()
+
+class Helper:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.caller: "Caller | None" = None
+
+    def inner(self):
+        with self._lock:
+            pass
+"""
+    order_rules = {
+        f.rule
+        for f in analyze_concurrency_sources([(bad_order, "bad_order.py")])
+    }
+    check(
+        "opposing lock nesting -> CN005 (helper without CN003 noise)",
+        "CN005" in order_rules and "CN003" not in order_rules,
+        str(order_rules),
+    )
+
+    clean_store = """\
+import threading
+
+class Good:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}  # guarded-by: _lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._data[key] = value
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._data)
+"""
+    clean_cn = analyze_concurrency_sources([(clean_store, "clean_store.py")])
+    check(
+        "guarded store -> no concurrency findings",
+        not clean_cn,
+        render_text(clean_cn),
+    )
+
+    engine_findings = analyze_concurrency_files(default_threaded_files())
+    check(
+        "engine threaded modules (mapreduce/dfs/telemetry) concurrency-clean",
+        not engine_findings,
+        render_text(engine_findings),
+    )
+
     if failures:
         print(f"self-check FAILED ({len(failures)} failure(s))")
         return 1
@@ -285,6 +437,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--json", action="store_true", help="emit JSON findings")
     parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the lockset/lock-order analyzer (CN rules) over PATHS, or "
+        "over the engine's threaded modules when no paths are given",
+    )
+    parser.add_argument(
         "--self-check",
         action="store_true",
         help="verify the analyzers against clean and deliberately corrupted "
@@ -296,6 +454,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _self_check()
 
     findings: list[Finding] = []
+    if args.concurrency:
+        paths = [pathlib.Path(p) for p in args.paths] or default_threaded_files()
+        try:
+            findings = analyze_concurrency_files(paths)
+        except OSError as exc:
+            print(f"cannot read sources: {exc}", file=sys.stderr)
+            return 2
+        if not args.json:
+            print(f"concurrency: analyzed {len(paths)} module(s)")
+        findings = filter_ignored(findings, args.ignore.split(","))
+        print(render_json(findings) if args.json else render_text(findings))
+        return 1 if has_errors(findings) else 0
     if args.paths:
         for path in args.paths:
             try:
@@ -331,6 +501,6 @@ def register_commands(registry) -> None:
         "lint",
         main,
         help="statically validate pipelines without running them "
-        "(plan dataflow + mapper/reducer purity); see "
-        "python -m repro lint --help",
+        "(plan dataflow + mapper/reducer purity + lock discipline); "
+        "see python -m repro lint --help",
     )

@@ -72,6 +72,35 @@ RULES: dict[str, RuleSpec] = {
         RuleSpec("PU005", Severity.WARNING,
                  "instance attribute assigned inside map/reduce (task-carried "
                  "state breaks replay after a retry)"),
+        RuleSpec("PU006", Severity.ERROR,
+                 "wall-clock or seedable generator constructed without an "
+                 "injected seed inside a task body"),
+        RuleSpec("PU007", Severity.WARNING,
+                 "iteration over a set whose order can leak into emitted "
+                 "keys (hash randomization breaks replay determinism)"),
+        # -- concurrency rules (concurrency) ----------------------------------
+        RuleSpec("CN001", Severity.ERROR,
+                 "read of a guarded-by attribute without holding its lock"),
+        RuleSpec("CN002", Severity.ERROR,
+                 "write/mutation of a guarded-by attribute without holding "
+                 "its lock"),
+        RuleSpec("CN003", Severity.ERROR,
+                 "lock-required helper called without holding the lock it "
+                 "assumes"),
+        RuleSpec("CN004", Severity.WARNING,
+                 "guarded mutable state escapes its lock scope (returned "
+                 "without copying)"),
+        RuleSpec("CN005", Severity.ERROR,
+                 "lock-order cycle between locks (potential deadlock)"),
+        RuleSpec("CN006", Severity.WARNING,
+                 "lock held across a blocking call (join/result/sleep/DFS "
+                 "I/O)"),
+        RuleSpec("CN007", Severity.ERROR,
+                 "guarded-by annotation names a lock the class never "
+                 "defines"),
+        RuleSpec("CN008", Severity.WARNING,
+                 "thread-shared closure state mutated without a lock in an "
+                 "escaping callback"),
     )
 }
 

@@ -17,7 +17,13 @@ files:
            ``os.urandom``, unseeded ``default_rng`` ...);
 ``PU003``  mutation of closure or global state shared across tasks;
 ``PU004``  mutation of a task input argument;
-``PU005``  instance attribute assigned inside ``map``/``reduce`` — WARNING.
+``PU005``  instance attribute assigned inside ``map``/``reduce`` — WARNING;
+``PU006``  wall-clock reads (``datetime.now``, ``time.localtime`` ...) or a
+           seedable generator (``Random()``, ``RandomState()``) constructed
+           without an injected seed;
+``PU007``  iteration over a set whose order can leak into emitted keys —
+           WARNING (hash randomization makes replay order differ between
+           attempts; wrap in ``sorted(...)``).
 
 Suppressions: append ``# lint: ignore[PU002]`` (or a bare
 ``# lint: ignore``) to the offending line.
@@ -111,6 +117,49 @@ def _is_nondet_call(call: ast.Call) -> str | None:
         return f"{leaf}()"
     if len(parts) == 1 and leaf == "time":
         return "time()"
+    return None
+
+
+def _is_wallclock_or_unseeded(call: ast.Call) -> str | None:
+    """PU006 patterns :func:`_is_nondet_call` does not already cover:
+    wall-clock formatting/reads and seedable generator classes constructed
+    without arguments (``random.*`` and ``np.random.*`` dotted calls are
+    PU002 territory; this catches the bare-import spellings)."""
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    leaf = parts[-1]
+    if (
+        leaf in ("Random", "RandomState", "SystemRandom")
+        and not call.args
+        and not call.keywords
+    ):
+        return f"{dotted}() without a seed"
+    if len(parts) >= 2:
+        if leaf in ("now", "utcnow", "today") and parts[-2] in (
+            "datetime",
+            "date",
+        ):
+            return f"{dotted}()"
+        if parts[0] == "time" and leaf in (
+            "localtime", "gmtime", "ctime", "asctime", "strftime",
+        ):
+            return f"{dotted}()"
+    return None
+
+
+def _set_iteration_desc(node: ast.AST) -> str | None:
+    """Describe ``node`` when it is a set-valued iterable (PU007)."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func)
+        leaf = dotted.split(".")[-1] if dotted else ""
+        if leaf in ("set", "frozenset"):
+            return f"{leaf}(...)"
     return None
 
 
@@ -232,6 +281,16 @@ class _TaskBodyVisitor(ast.NodeVisitor):
                 "output; derive randomness from a seed in the split or "
                 "job params",
             )
+        else:
+            clock = _is_wallclock_or_unseeded(node)
+            if clock is not None:
+                self._emit(
+                    "PU006",
+                    f"calls {clock}",
+                    node,
+                    hint="inject the seed/timestamp through the split or "
+                    "job params so a retried attempt replays identically",
+                )
         if isinstance(node.func, ast.Attribute) and node.func.attr in _MUTATORS:
             self._classify_root(
                 node.func.value, node, f"call to .{node.func.attr}()"
@@ -254,6 +313,25 @@ class _TaskBodyVisitor(ast.NodeVisitor):
                         hint="emit through the context instead of writing "
                         "to enclosing scopes",
                     )
+
+    def _check_set_iter(self, iterable: ast.AST, node: ast.AST) -> None:
+        desc = _set_iteration_desc(iterable)
+        if desc is not None:
+            self._emit(
+                "PU007",
+                f"iterates over {desc} (hash-randomized order)",
+                node,
+                hint="wrap the iterable in sorted(...) so emitted key order "
+                "is identical across attempts",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_set_iter(node.iter, node.iter)
+        self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         self._visit_targets(node.targets, node)

@@ -48,9 +48,22 @@ class DataNode:
 
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
-        self.alive = True
-        self._blocks: dict[BlockId, bytes] = {}
         self._lock = threading.Lock()
+        self._alive = True  # guarded-by: _lock
+        self._blocks: dict[BlockId, bytes] = {}  # guarded-by: _lock
+
+    @property
+    def alive(self) -> bool:
+        """Liveness flag; locked because fault hooks flip it from chaos /
+        maintenance threads while readers scan replicas (CN001 — these
+        reads were previously lock-free)."""
+        with self._lock:
+            return self._alive
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        with self._lock:
+            self._alive = value
 
     def put(self, block_id: BlockId, payload: bytes) -> None:
         with self._lock:
@@ -109,19 +122,24 @@ class BlockStore:
         self.datanodes = [DataNode(i) for i in range(num_datanodes)]
         self.replication = min(replication, num_datanodes)
         self.block_size = block_size
-        self._next_id = itertools.count(1)
-        self._rng = random.Random(seed)
         self._lock = threading.Lock()
-        self._blocks: dict[BlockId, BlockInfo] = {}
-        #: Monotonic count of topology changes (datanode kills/revives).  The
-        #: runtime's auto-repair pass uses it to trigger a
-        #: :class:`~repro.dfs.health.HealthMonitor` scan only when something
-        #: actually changed, keeping the healthy path free of scan overhead.
-        self.failure_epoch = 0
+        self._next_id = itertools.count(1)  # guarded-by: _lock
+        self._rng = random.Random(seed)  # guarded-by: _lock
+        self._blocks: dict[BlockId, BlockInfo] = {}  # guarded-by: _lock
+        self._failure_epoch = 0  # guarded-by: _lock
+
+    @property
+    def failure_epoch(self) -> int:
+        """Monotonic count of topology changes (datanode kills/revives).  The
+        runtime's auto-repair pass uses it to trigger a
+        :class:`~repro.dfs.health.HealthMonitor` scan only when something
+        actually changed, keeping the healthy path free of scan overhead."""
+        with self._lock:
+            return self._failure_epoch
 
     # -- placement ---------------------------------------------------------
 
-    def _choose_replicas(self) -> tuple[int, ...]:
+    def _choose_replicas(self) -> tuple[int, ...]:  # requires-lock: _lock
         live = [dn.node_id for dn in self.datanodes if dn.alive]
         if not live:
             raise BlockMissingError("no live datanodes available for write")
@@ -177,10 +195,16 @@ class BlockStore:
         raise BlockMissingError(f"no live replica of {info.block_id} ({detail})")
 
     def delete_block(self, info: BlockInfo) -> None:
-        for node_idx in info.replicas:
-            self.datanodes[node_idx].drop(info.block_id)
+        # Snapshot the replica list under the lock: a concurrent maintenance
+        # pass (drop_corrupt_replicas / rereplicate) rewrites
+        # ``info.replicas`` while holding it (CN001 — this read was
+        # previously lock-free, so a delete could miss a replica placed by a
+        # racing re-replication and leak the payload).
         with self._lock:
+            replicas = tuple(info.replicas)
             self._blocks.pop(info.block_id, None)
+        for node_idx in replicas:
+            self.datanodes[node_idx].drop(info.block_id)
 
     # -- re-replication ------------------------------------------------------
     #
@@ -277,12 +301,12 @@ class BlockStore:
     def kill_datanode(self, node_id: int) -> None:
         with self._lock:
             self.datanodes[node_id].alive = False
-            self.failure_epoch += 1
+            self._failure_epoch += 1
 
     def revive_datanode(self, node_id: int) -> None:
         with self._lock:
             self.datanodes[node_id].alive = True
-            self.failure_epoch += 1
+            self._failure_epoch += 1
 
     def corrupt_replica(self, info: BlockInfo, node_id: int) -> bool:
         return self.datanodes[node_id].corrupt(info.block_id)

@@ -16,7 +16,6 @@ bytes read/written/transferred, synchronization-free file naming).
 from __future__ import annotations
 
 import fnmatch
-import threading
 
 from typing import TYPE_CHECKING
 
@@ -93,7 +92,6 @@ class DFS:
             seed=seed,
         )
         self.stats = IOStats()
-        self._lock = threading.RLock()
 
     # -- writes --------------------------------------------------------------
 

@@ -55,16 +55,16 @@ class IOSnapshot:
 class IOStats:
     """Thread-safe mutable I/O counters shared by one DFS instance."""
 
-    bytes_read: int = 0
-    bytes_written: int = 0
-    bytes_transferred: int = 0
-    files_created: int = 0
-    files_opened: int = 0
-    files_deleted: int = 0
-    read_ops: int = 0
-    write_ops: int = 0
-    repair_copies: int = 0
-    corrupt_replicas_dropped: int = 0
+    bytes_read: int = 0  # guarded-by: _lock
+    bytes_written: int = 0  # guarded-by: _lock
+    bytes_transferred: int = 0  # guarded-by: _lock
+    files_created: int = 0  # guarded-by: _lock
+    files_opened: int = 0  # guarded-by: _lock
+    files_deleted: int = 0  # guarded-by: _lock
+    read_ops: int = 0  # guarded-by: _lock
+    write_ops: int = 0  # guarded-by: _lock
+    repair_copies: int = 0  # guarded-by: _lock
+    corrupt_replicas_dropped: int = 0  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_read(self, nbytes: int, *, local: bool = False) -> None:

@@ -77,12 +77,12 @@ class NameNode:
     """
 
     def __init__(self) -> None:
-        self.root = DirEntry(name="")
         self._lock = threading.RLock()
+        self.root = DirEntry(name="")  # guarded-by: _lock
 
     # -- traversal -----------------------------------------------------------
 
-    def _walk(self, path: str) -> "FileEntry | DirEntry | None":
+    def _walk(self, path: str) -> "FileEntry | DirEntry | None":  # requires-lock: _lock
         node: FileEntry | DirEntry = self.root
         for part in split_path(path):
             if not isinstance(node, DirEntry):
@@ -93,7 +93,9 @@ class NameNode:
             node = child
         return node
 
-    def _parent_dir(self, path: str, *, create: bool) -> tuple[DirEntry, str]:
+    def _parent_dir(  # requires-lock: _lock
+        self, path: str, *, create: bool
+    ) -> tuple[DirEntry, str]:
         parts = split_path(path)
         if not parts:
             raise DFSError("path refers to the root directory")

@@ -36,8 +36,10 @@ class Counters:
     """Thread-safe two-level counter map: group -> name -> int."""
 
     def __init__(self) -> None:
-        self._groups: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
         self._lock = threading.Lock()
+        self._groups: dict[str, dict[str, int]] = defaultdict(  # guarded-by: _lock
+            lambda: defaultdict(int)
+        )
 
     def increment(self, group: str, name: str, amount: int = 1) -> None:
         with self._lock:

@@ -56,7 +56,7 @@ class FailOnce(FaultPolicy):
     kind: TaskKind
     task_index: int
     failing_attempt: int = 0
-    _fired: set[str] = field(default_factory=set)
+    _fired: set[str] = field(default_factory=set)  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     # Job names are matched by substring so callers can target "the first LU
@@ -101,7 +101,7 @@ class FailRandomly(FaultPolicy):
     rate: float
     seed: int = 0
     job_name: str | None = None
-    _rng: random.Random = field(init=False, repr=False)
+    _rng: random.Random = field(init=False, repr=False)  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def __post_init__(self) -> None:

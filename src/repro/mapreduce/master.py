@@ -27,6 +27,7 @@ machinery Section 7.4's end-to-end fault story depends on:
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -132,6 +133,11 @@ class NodeHealth:
     its count, and when a blacklist expires the count is cleared so the node
     gets a fresh chance (decay).  With every node blacklisted the tracker
     schedules on all of them — degraded beats deadlocked.
+
+    All mutable state is guarded by ``_lock``: the tracker mutates health
+    from its scheduling loop while speculative/timed-out attempt bookkeeping
+    and chaos-campaign snapshots may read it from other threads (CN001 —
+    blacklist decay reads were previously lock-free).
     """
 
     def __init__(
@@ -146,58 +152,78 @@ class NodeHealth:
         self.num_nodes = num_nodes
         self.max_failures = max_failures
         self.blacklist_window = blacklist_window
-        self.consecutive_failures = [0] * num_nodes
-        self.total_failures = [0] * num_nodes
-        self._blacklist_left = [0] * num_nodes
-        self.blacklist_events = 0
-        self._rr = 0
+        self._lock = threading.Lock()
+        self.consecutive_failures = [0] * num_nodes  # guarded-by: _lock
+        self.total_failures = [0] * num_nodes  # guarded-by: _lock
+        self._blacklist_left = [0] * num_nodes  # guarded-by: _lock
+        self.blacklist_events = 0  # guarded-by: _lock
+        self._rr = 0  # guarded-by: _lock
 
     def record_failure(self, node: int) -> None:
-        self.consecutive_failures[node] += 1
-        self.total_failures[node] += 1
-        if (
-            self.consecutive_failures[node] >= self.max_failures
-            and self._blacklist_left[node] == 0
-        ):
-            self._blacklist_left[node] = self.blacklist_window
-            self.blacklist_events += 1
+        with self._lock:
+            self.consecutive_failures[node] += 1
+            self.total_failures[node] += 1
+            if (
+                self.consecutive_failures[node] >= self.max_failures
+                and self._blacklist_left[node] == 0
+            ):
+                self._blacklist_left[node] = self.blacklist_window
+                self.blacklist_events += 1
 
     def record_success(self, node: int) -> None:
-        self.consecutive_failures[node] = 0
+        with self._lock:
+            self.consecutive_failures[node] = 0
 
-    def is_blacklisted(self, node: int) -> bool:
+    def _is_blacklisted_locked(self, node: int) -> bool:
         return self._blacklist_left[node] > 0
 
+    def is_blacklisted(self, node: int) -> bool:
+        with self._lock:
+            return self._is_blacklisted_locked(node)
+
+    def _blacklisted_nodes_locked(self) -> list[int]:
+        return [
+            i for i in range(self.num_nodes) if self._is_blacklisted_locked(i)
+        ]
+
     def blacklisted_nodes(self) -> list[int]:
-        return [i for i in range(self.num_nodes) if self.is_blacklisted(i)]
+        with self._lock:
+            return self._blacklisted_nodes_locked()
 
     def tick(self) -> None:
         """Advance one scheduling wave: blacklists decay toward expiry."""
-        for node in range(self.num_nodes):
-            if self._blacklist_left[node] > 0:
-                self._blacklist_left[node] -= 1
-                if self._blacklist_left[node] == 0:
-                    self.consecutive_failures[node] = 0
+        with self._lock:
+            for node in range(self.num_nodes):
+                if self._blacklist_left[node] > 0:
+                    self._blacklist_left[node] -= 1
+                    if self._blacklist_left[node] == 0:
+                        self.consecutive_failures[node] = 0
 
     def pick_node(self, avoid: int | None = None) -> int:
         """Round-robin over healthy nodes, skipping ``avoid`` (the node the
         task last failed on) whenever any alternative exists."""
-        candidates = [n for n in range(self.num_nodes) if not self.is_blacklisted(n)]
-        if not candidates:
-            candidates = list(range(self.num_nodes))
-        if avoid is not None and len(candidates) > 1:
-            candidates = [n for n in candidates if n != avoid] or candidates
-        node = candidates[self._rr % len(candidates)]
-        self._rr += 1
-        return node
+        with self._lock:
+            candidates = [
+                n
+                for n in range(self.num_nodes)
+                if not self._is_blacklisted_locked(n)
+            ]
+            if not candidates:
+                candidates = list(range(self.num_nodes))
+            if avoid is not None and len(candidates) > 1:
+                candidates = [n for n in candidates if n != avoid] or candidates
+            node = candidates[self._rr % len(candidates)]
+            self._rr += 1
+            return node
 
     def snapshot(self) -> dict[str, Any]:
-        return {
-            "consecutive_failures": list(self.consecutive_failures),
-            "total_failures": list(self.total_failures),
-            "blacklisted": self.blacklisted_nodes(),
-            "blacklist_events": self.blacklist_events,
-        }
+        with self._lock:
+            return {
+                "consecutive_failures": list(self.consecutive_failures),
+                "total_failures": list(self.total_failures),
+                "blacklisted": self._blacklisted_nodes_locked(),
+                "blacklist_events": self.blacklist_events,
+            }
 
 
 @dataclass
@@ -206,7 +232,7 @@ class _PhaseStats:
     failed: int = 0
     timeouts: int = 0
     backoff_seconds: float = 0.0
-    retries: dict[int, int] = None  # filled at phase end
+    retries: dict[int, int] | None = None  # filled at phase end
 
 
 class JobTracker:
@@ -273,6 +299,10 @@ class JobTracker:
         failures: dict[int, list[AttemptFailure]] = {i: [] for i in pending}
         last_failed_node: dict[int, int] = {}
         timed_out_tasks: set[int] = set()
+        # Worker threads insert task spans concurrently (CN008: the traced()
+        # closures escape into the executor); writes take spans_lock, reads
+        # happen after run_all() returns (join point).
+        spans_lock = threading.Lock()
         attempt_spans: dict[tuple[int, int], Span] = {}
         wave_no = 0
 
@@ -305,7 +335,8 @@ class JobTracker:
                         "phase": kind.value,
                     },
                 ) as tspan:
-                    attempt_spans[(idx, attempt_id.attempt)] = tspan
+                    with spans_lock:
+                        attempt_spans[(idx, attempt_id.attempt)] = tspan
                     out = run_one(item, attempt_id, node)
                     trace = getattr(out, "trace", None)
                     if trace is not None:

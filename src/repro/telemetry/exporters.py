@@ -36,12 +36,18 @@ class InMemoryExporter:
     """Collect finished spans in a list."""
 
     def __init__(self) -> None:
-        self.spans: list[Span] = []
         self._lock = threading.Lock()
+        self.spans: list[Span] = []  # guarded-by: _lock
 
     def on_end(self, span: Span) -> None:
         with self._lock:
             self.spans.append(span)
+
+    def snapshot(self) -> list[Span]:
+        """Locked copy of the collected spans (safe to read while a run is
+        still finishing spans on worker threads)."""
+        with self._lock:
+            return list(self.spans)
 
     def close(self) -> None:
         return None
@@ -57,16 +63,16 @@ class JsonLinesExporter:
     def __init__(self, target: str | pathlib.Path | IO[str]) -> None:
         self._lock = threading.Lock()
         if isinstance(target, (str, pathlib.Path)):
-            self._stream: IO[str] | None = None
+            self._stream: IO[str] | None = None  # guarded-by: _lock
             self._path: pathlib.Path | None = pathlib.Path(target)
             self._owns_stream = True
         else:
-            self._stream = target
+            self._stream = target  # guarded-by: _lock
             self._path = None
             self._owns_stream = False
-        self.spans_written = 0
+        self.spans_written = 0  # guarded-by: _lock
 
-    def _ensure_stream(self) -> IO[str]:
+    def _ensure_stream(self) -> IO[str]:  # requires-lock: _lock
         if self._stream is None:
             assert self._path is not None
             self._path.parent.mkdir(parents=True, exist_ok=True)
@@ -93,10 +99,10 @@ class TimelineExporter:
     """Buffer spans and render a human-readable timeline on close."""
 
     def __init__(self, stream: IO[str] | None = None, width: int = 64) -> None:
-        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self.spans: list[Span] = []  # guarded-by: _lock
         self.width = width
         self._stream = stream
-        self._lock = threading.Lock()
 
     def on_end(self, span: Span) -> None:
         with self._lock:

@@ -45,8 +45,8 @@ class Counter:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._value = 0
         self._lock = threading.Lock()
+        self._value = 0  # guarded-by: _lock
 
     def increment(self, amount: int = 1) -> None:
         if amount < 0:
@@ -67,8 +67,8 @@ class Gauge:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._value = 0.0
         self._lock = threading.Lock()
+        self._value = 0.0  # guarded-by: _lock
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -101,11 +101,11 @@ class Histogram:
         if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
             raise ValueError("bucket boundaries must be strictly increasing")
         self.name = name
-        self.boundaries = bounds
-        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
-        self.total = 0.0
-        self.count = 0
+        self.boundaries = bounds  # immutable; shared lock-free
         self._lock = threading.Lock()
+        self.bucket_counts = [0] * (len(bounds) + 1)  # guarded-by: _lock
+        self.total = 0.0  # guarded-by: _lock
+        self.count = 0  # guarded-by: _lock
 
     def observe(self, value: float) -> None:
         idx = bisect.bisect_left(self.boundaries, value)
@@ -118,6 +118,39 @@ class Histogram:
     def mean(self) -> float:
         with self._lock:
             return self.total / self.count if self.count else 0.0
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Locked copy of the histogram's state, in the wire format used by
+        :meth:`MetricsRegistry.to_dict` (CN001 — the registry previously
+        read ``bucket_counts``/``total``/``count`` without this lock, so a
+        concurrent ``observe`` could export a torn snapshot)."""
+        with self._lock:
+            return {
+                "boundaries": list(self.boundaries),
+                "bucket_counts": list(self.bucket_counts),
+                "total": self.total,
+                "count": self.count,
+            }
+
+    def restore_state(
+        self, bucket_counts: Iterable[int], total: float, count: int
+    ) -> None:
+        """Locked overwrite of the mutable state (import path)."""
+        with self._lock:
+            self.bucket_counts = [int(c) for c in bucket_counts]
+            self.total = float(total)
+            self.count = int(count)
+
+    def add_counts(
+        self, bucket_counts: Iterable[int], total: float, count: int
+    ) -> None:
+        """Locked element-wise merge of another histogram's state (CN002 —
+        the registry previously incremented the buckets directly)."""
+        with self._lock:
+            for idx, bucket in enumerate(bucket_counts):
+                self.bucket_counts[idx] += int(bucket)
+            self.total += float(total)
+            self.count += int(count)
 
     def quantile(self, q: float) -> float:
         """Approximate quantile: the upper boundary of the bucket holding the
@@ -146,10 +179,10 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}  # guarded-by: _lock
+        self._gauges: dict[str, Gauge] = {}  # guarded-by: _lock
+        self._histograms: dict[str, Histogram] = {}  # guarded-by: _lock
 
     # -- get-or-create ---------------------------------------------------------
 
@@ -212,12 +245,7 @@ class MetricsRegistry:
             counters = {n: c.value for n, c in sorted(self._counters.items())}
             gauges = {n: g.value for n, g in sorted(self._gauges.items())}
             histograms = {
-                n: {
-                    "boundaries": list(h.boundaries),
-                    "bucket_counts": list(h.bucket_counts),
-                    "total": h.total,
-                    "count": h.count,
-                }
+                n: h.snapshot_state()
                 for n, h in sorted(self._histograms.items())
             }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
@@ -232,9 +260,9 @@ class MetricsRegistry:
             registry.gauge(name).set(float(value))
         for name, spec in data.get("histograms", {}).items():
             hist = registry.histogram(name, spec["boundaries"])
-            hist.bucket_counts = [int(c) for c in spec["bucket_counts"]]
-            hist.total = float(spec["total"])
-            hist.count = int(spec["count"])
+            hist.restore_state(
+                spec["bucket_counts"], spec["total"], spec["count"]
+            )
         return registry
 
     def merge(self, other: "MetricsRegistry") -> None:
@@ -251,10 +279,7 @@ class MetricsRegistry:
                 raise ValueError(
                     f"histogram {name!r}: boundary mismatch, cannot merge"
                 )
-            for idx, count in enumerate(spec["bucket_counts"]):
-                hist.bucket_counts[idx] += int(count)
-            hist.total += float(spec["total"])
-            hist.count += int(spec["count"])
+            hist.add_counts(spec["bucket_counts"], spec["total"], spec["count"])
 
     def format(self) -> str:
         """Human-readable dump, one metric per line."""

@@ -251,9 +251,9 @@ class Tracer:
         self.trace_id = trace_id or uuid.uuid4().hex[:16]
         self.exporters: tuple[SpanExporter, ...] = exporters
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._spans: list[Span] = []
-        self._ids = itertools.count(1)
         self._lock = threading.Lock()
+        self._spans: list[Span] = []  # guarded-by: _lock
+        self._ids = itertools.count(1)  # guarded-by: _lock
 
     # -- recording -----------------------------------------------------------
 
@@ -273,9 +273,13 @@ class Tracer:
             parent_id = parent.span_id
         else:
             parent_id = parent
+        # ID allocation is locked: spans open concurrently on worker threads
+        # (CN001 — this next() was previously lock-free).
+        with self._lock:
+            span_id = f"{next(self._ids):08x}"
         span = Span(
             trace_id=self.trace_id,
-            span_id=f"{next(self._ids):08x}",
+            span_id=span_id,
             parent_id=parent_id,
             name=name,
             kind=kind,

@@ -1,0 +1,25 @@
+"""Fixture: guarded attributes touched without the lock.
+
+``peek`` reads ``self._items`` lock-free (CN001) and ``clear`` replaces it
+lock-free (CN002).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class LeakyCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict[str, int] = {}  # guarded-by: _lock
+
+    def put(self, key: str, value: int) -> None:
+        with self._lock:
+            self._items[key] = value
+
+    def peek(self, key: str) -> int | None:
+        return self._items.get(key)  # CN001: read without self._lock
+
+    def clear(self) -> None:
+        self._items = {}  # CN002: write without self._lock

@@ -1,0 +1,41 @@
+"""Fixture: a correctly locked class — the analyzer must stay silent.
+
+Every guarded attribute is only touched under ``self._lock``, the
+lock-required helper is only called with the lock held, and the snapshot
+method copies before returning.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class GuardedCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict[str, int] = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+
+    def get(self, key: str) -> int | None:
+        with self._lock:
+            value = self._items.get(key)
+            if value is not None:
+                self._hits += 1
+            return value
+
+    def put(self, key: str, value: int) -> None:
+        with self._lock:
+            self._items[key] = value
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        while len(self._items) > 64:
+            self._items.pop(next(iter(self._items)))
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._items)
+
+    def hit_count(self) -> int:
+        with self._lock:
+            return self._hits

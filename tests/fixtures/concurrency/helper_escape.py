@@ -1,0 +1,33 @@
+"""Fixture: lock-required helper called lock-free, and a guarded container
+returned without copying.
+
+``rebalance`` calls ``_compact_locked`` without holding the lock (CN003);
+``snapshot`` returns the guarded dict itself (CN004), handing the caller a
+reference that races with every locked mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class EscapingStore:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, int] = {}  # guarded-by: _lock
+
+    def put(self, key: str, value: int) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        while len(self._entries) > 128:
+            self._entries.pop(next(iter(self._entries)))
+
+    def rebalance(self) -> None:
+        self._compact_locked()  # CN003: helper requires the lock
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return self._entries  # CN004: uncopied guarded state escapes

@@ -1,0 +1,25 @@
+"""Fixture: a lock held across a blocking call.
+
+``drain`` joins the worker thread while still holding ``self._lock``
+(CN006): if the worker needs the lock to finish, the join never returns.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Drainer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: list[int] = []  # guarded-by: _lock
+
+    def submit(self, item: int) -> None:
+        with self._lock:
+            self._pending.append(item)
+
+    def drain(self, worker_thread: threading.Thread) -> list[int]:
+        with self._lock:
+            worker_thread.join()  # CN006: blocking call under the lock
+            done, self._pending = self._pending, []
+            return done

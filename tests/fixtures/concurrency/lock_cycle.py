@@ -1,0 +1,42 @@
+"""Fixture: two classes acquire each other's locks in opposite orders.
+
+``Ledger.transfer`` holds ``Ledger._lock`` and then takes
+``Auditor._lock`` (via ``Auditor.record``); ``Auditor.reconcile`` holds
+``Auditor._lock`` and then takes ``Ledger._lock`` (via ``Ledger.balance``).
+Two threads running one of each deadlock — CN005.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Auditor:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[str] = []  # guarded-by: _lock
+
+    def record(self, event: str) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def reconcile(self, ledger: "Ledger") -> int:
+        with self._lock:
+            self._events.append("reconcile")
+            return ledger.balance()
+
+
+class Ledger:
+    def __init__(self, auditor: Auditor) -> None:
+        self._lock = threading.Lock()
+        self._auditor = auditor
+        self._total = 0  # guarded-by: _lock
+
+    def balance(self) -> int:
+        with self._lock:
+            return self._total
+
+    def transfer(self, amount: int) -> None:
+        with self._lock:
+            self._total += amount
+            self._auditor.record(f"transfer {amount}")

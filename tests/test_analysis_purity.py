@@ -10,6 +10,7 @@ from __future__ import annotations
 import os
 import random
 import time
+from random import Random
 
 import numpy as np
 import pytest
@@ -104,6 +105,71 @@ def test_os_urandom_is_pu002():
         ctx.emit(0, os.urandom(8))
 
     assert "PU002" in rule_ids(analyze_callable(FnMapper(mapper)))
+
+
+def test_unseeded_random_instance_is_pu006():
+    """Bare-import ``Random()`` without a seed is PU006 (the dotted
+    ``random.Random()`` spelling is already PU002 territory)."""
+
+    def mapper(ctx, split):
+        rng = Random()
+        ctx.emit(0, rng.random())
+
+    findings = analyze_callable(FnMapper(mapper))
+    assert "PU006" in rule_ids(findings)
+    assert any("seed" in f.message for f in findings)
+
+
+def test_seeded_random_instance_passes_pu006():
+    def mapper(ctx, split):
+        rng = Random(split.index)
+        ctx.emit(0, rng.random())
+
+    assert analyze_callable(FnMapper(mapper)) == []
+
+
+def test_wallclock_datetime_is_pu006():
+    import datetime
+
+    def mapper(ctx, split):
+        ctx.emit(0, datetime.datetime.now().isoformat())
+
+    findings = analyze_callable(FnMapper(mapper))
+    assert "PU006" in rule_ids(findings)
+    assert findings[0].severity == Severity.ERROR
+
+
+def test_localtime_formatting_is_pu006():
+    def mapper(ctx, split):
+        ctx.emit(0, time.strftime("%H:%M"))
+
+    assert "PU006" in rule_ids(analyze_callable(FnMapper(mapper)))
+
+
+def test_set_iteration_in_for_loop_is_pu007():
+    def mapper(ctx, split):
+        for key in {split.index, split.index + 1, 0}:
+            ctx.emit(key, 1)
+
+    findings = analyze_callable(FnMapper(mapper))
+    assert rule_ids(findings) == {"PU007"}
+    assert findings[0].severity == Severity.WARNING
+    assert not has_errors(findings)
+
+
+def test_set_iteration_in_comprehension_is_pu007():
+    def mapper(ctx, split):
+        ctx.emit(0, [k * 2 for k in set(range(split.index))])
+
+    assert "PU007" in rule_ids(analyze_callable(FnMapper(mapper)))
+
+
+def test_sorted_set_iteration_passes_pu007():
+    def mapper(ctx, split):
+        for key in sorted({split.index, 0}):
+            ctx.emit(key, 1)
+
+    assert analyze_callable(FnMapper(mapper)) == []
 
 
 def test_stateful_mapper_class_is_pu005_warning():
