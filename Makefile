@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint chaos trace-demo check bench experiments examples coverage clean
+.PHONY: install test lint chaos trace-demo check bench bench-cache experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -46,6 +46,12 @@ check: lint test chaos trace-demo
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Decoded-block cache benchmark: cache on vs off end-to-end inversion
+# (wall clock, exact copied-byte ledger, tracemalloc allocation profile).
+# Writes BENCH_cache.json; exit status 0 iff the acceptance criteria hold.
+bench-cache:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_cache.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.run_all

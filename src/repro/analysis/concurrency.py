@@ -1206,6 +1206,7 @@ THREADED_MODULES: tuple[str, ...] = (
     "mapreduce/counters.py",
     "mapreduce/faults.py",
     "dfs/blocks.py",
+    "dfs/cache.py",
     "dfs/filesystem.py",
     "dfs/iostats.py",
     "dfs/namenode.py",

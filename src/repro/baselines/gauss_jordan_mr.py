@@ -69,7 +69,10 @@ class _PivotMapper(Mapper):
             return
         k = self.step
         r1, _ = ranges[j]
-        slab = formats.decode_matrix(ctx.read_bytes(f"{self.root}/aug/slab.{j}"))
+        # writable: the slab is pivot-swapped and row-scaled in place below.
+        slab = formats.decode_matrix(
+            ctx.read_bytes(f"{self.root}/aug/slab.{j}"), writable=True
+        )
         local = k - r1
         # Partial pivoting within the slab's rows >= k.
         rel = int(np.argmax(np.abs(slab[local:, k])))
@@ -105,7 +108,10 @@ class _EliminateReducer(Reducer):
         if r2 <= r1:
             return
         k = self.step
-        slab = formats.decode_matrix(ctx.read_bytes(f"{self.root}/aug/slab.{j}"))
+        # writable: the elimination update subtracts from the slab in place.
+        slab = formats.decode_matrix(
+            ctx.read_bytes(f"{self.root}/aug/slab.{j}"), writable=True
+        )
         pivot_row = formats.decode_matrix(ctx.read_bytes(f"{self.root}/pivot.{k}"))[0]
         multipliers = slab[:, k].copy()
         if j == _owner_of(k, ranges):

@@ -7,6 +7,7 @@ text/binary codecs of Table 3.
 """
 
 from .blocks import BlockCorruptionError, BlockMissingError, BlockStore, DataNode
+from .cache import DEFAULT_BLOCK_CACHE_BYTES, BlockCache
 from .filesystem import DFS, DFSWriter
 from .health import HealthMonitor, HealthReport, RepairReport
 from .iostats import IOSnapshot, IOStats
@@ -23,10 +24,12 @@ from . import formats, matrixmarket
 
 __all__ = [
     "matrixmarket",
+    "DEFAULT_BLOCK_CACHE_BYTES",
     "DFS",
     "DFSWriter",
     "DFSError",
     "DataNode",
+    "BlockCache",
     "BlockStore",
     "BlockCorruptionError",
     "BlockMissingError",

@@ -24,6 +24,7 @@ from .blocks import BlockStore
 from .iostats import IOStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import BlockCache
     from .health import HealthMonitor
 from .namenode import (
     FileEntry,
@@ -41,17 +42,40 @@ class DFSWriter:
         self._dfs = dfs
         self._entry = entry
         self._buffer = bytearray()
+        # Sub-block remainder kept as the caller's immutable bytes object
+        # (zero copies until flush).  Invariant: when _tail is set, _buffer
+        # is empty — a subsequent write folds the tail back into the buffer.
+        self._tail: bytes | None = None
         self._closed = False
 
     def write(self, data: bytes) -> int:
         if self._closed:
             raise ValueError("write to closed DFS file")
-        self._buffer.extend(data)
         block_size = self._dfs.blocks.block_size
-        while len(self._buffer) >= block_size:
-            chunk = bytes(self._buffer[:block_size])
-            del self._buffer[:block_size]
-            self._flush_block(chunk)
+        if self._tail is not None:
+            self._buffer.extend(self._tail)
+            self._tail = None
+        mv = memoryview(data)
+        if self._buffer:
+            take = min(block_size - len(self._buffer), len(mv))
+            self._buffer.extend(mv[:take])
+            mv = mv[take:]
+            if len(self._buffer) == block_size:
+                self._flush_block(bytes(self._buffer))
+                self._buffer.clear()
+        # Full blocks flush straight from the caller's data: one slice into
+        # the immutable payload instead of buffer-extend plus re-slice.
+        while len(mv) >= block_size:
+            self._flush_block(bytes(mv[:block_size]))
+            mv = mv[block_size:]
+        if len(mv):
+            if not self._buffer and len(mv) == len(data) and isinstance(data, bytes):
+                # Whole write fits under a block and nothing is buffered: keep
+                # the caller's bytes as-is (the common one-write-per-file case
+                # costs zero copies end to end).
+                self._tail = data
+            else:
+                self._buffer.extend(mv)
         return len(data)
 
     def _flush_block(self, chunk: bytes) -> None:
@@ -62,7 +86,10 @@ class DFSWriter:
     def close(self) -> None:
         if self._closed:
             return
-        if self._buffer:
+        if self._tail is not None:
+            self._flush_block(self._tail)
+            self._tail = None
+        elif self._buffer:
             self._flush_block(bytes(self._buffer))
             self._buffer.clear()
         self._closed = True
@@ -92,6 +119,24 @@ class DFS:
             seed=seed,
         )
         self.stats = IOStats()
+        #: Optional decoded-block cache (:class:`~repro.dfs.cache.BlockCache`)
+        #: consulted by matrix readers (``TaskContext.read_matrix`` and the
+        #: master's reader).  ``None`` keeps the paper-faithful read path.
+        self.cache: "BlockCache | None" = None
+
+    # -- decoded-block cache ---------------------------------------------------
+
+    def attach_cache(self, capacity_bytes: int) -> "BlockCache":
+        """Attach (or re-attach at a new capacity) a decoded-block cache."""
+        from .cache import BlockCache
+
+        if self.cache is None or self.cache.capacity_bytes != capacity_bytes:
+            self.cache = BlockCache(capacity_bytes)
+        return self.cache
+
+    def detach_cache(self) -> None:
+        """Drop the cache; subsequent matrix reads go straight to the DFS."""
+        self.cache = None
 
     # -- writes --------------------------------------------------------------
 
@@ -129,8 +174,12 @@ class DFS:
     def _read_bytes(self, path: str, *, local: bool = False) -> bytes:
         entry = self.namenode.get_file(normalize(path))
         self.stats.record_open()
-        chunks = [self.blocks.read_block(info) for info in entry.blocks]
-        data = b"".join(chunks)
+        if len(entry.blocks) == 1:
+            # Single-block file: the stored payload *is* the file content —
+            # return it directly instead of copying it through b"".join.
+            data = self.blocks.read_block(entry.blocks[0])
+        else:
+            data = b"".join(self.blocks.read_block(info) for info in entry.blocks)
         self.stats.record_read(len(data), local=local)
         return data
 
@@ -156,7 +205,10 @@ class DFS:
             raise ValueError("offset and length must be non-negative")
         self.stats.record_open()
         end = offset + length
-        out = bytearray()
+        # Collect whole payloads or memoryview slices — no intermediate
+        # bytearray, so the bytes are copied at most once (b"".join) and not
+        # at all when the range hits exactly one whole block.
+        parts: list[bytes | memoryview] = []
         pos = 0
         for info in entry.blocks:
             block_start, block_end = pos, pos + info.length
@@ -168,9 +220,15 @@ class DFS:
             payload = self.blocks.read_block(info)
             lo = max(offset - block_start, 0)
             hi = min(end - block_start, info.length)
-            out.extend(payload[lo:hi])
-        self.stats.record_read(len(out), local=local)
-        return bytes(out)
+            if lo == 0 and hi == info.length:
+                parts.append(payload)
+            else:
+                parts.append(memoryview(payload)[lo:hi])
+        nbytes = sum(len(p) for p in parts)
+        self.stats.record_read(nbytes, local=local)
+        if len(parts) == 1 and isinstance(parts[0], bytes):
+            return parts[0]
+        return b"".join(parts)
 
     # -- namespace -----------------------------------------------------------
 
@@ -203,9 +261,18 @@ class DFS:
             for info in entry.blocks:
                 self.blocks.delete_block(info)
         self.stats.record_delete(len(removed))
+        if self.cache is not None:
+            # Hygiene only: the deleted entries' (path, generation) keys can
+            # never be requested again, but dropping them eagerly frees
+            # capacity instead of waiting for LRU eviction.
+            self.cache.drop_path(path)
 
     def rename(self, src: str, dst: str) -> None:
         self.namenode.rename(normalize(src), normalize(dst))
+        if self.cache is not None:
+            # The moved entries keep their (globally unique) generations, so
+            # the cached values under the old path are unreachable — drop them.
+            self.cache.drop_path(src)
 
     # -- replication maintenance ------------------------------------------------
 

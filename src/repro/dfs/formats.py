@@ -38,8 +38,14 @@ def encode_matrix(matrix: np.ndarray) -> bytes:
     return header + m.tobytes()
 
 
-def decode_matrix(data: bytes) -> np.ndarray:
-    """Inverse of :func:`encode_matrix`."""
+def decode_matrix(data: bytes, *, writable: bool = False) -> np.ndarray:
+    """Inverse of :func:`encode_matrix`.
+
+    By default the result is a *read-only view* over ``data``'s buffer — no
+    copy is made, which is what lets the decoded-block cache share one array
+    between every task in a wave.  Callers that mutate the matrix in place
+    must pass ``writable=True`` to get a private copy.
+    """
     if len(data) < _HEADER.size:
         raise ValueError("truncated matrix file: missing header")
     magic, cols, rows = _HEADER.unpack_from(data)
@@ -50,7 +56,8 @@ def decode_matrix(data: bytes) -> np.ndarray:
         raise ValueError(
             f"matrix payload has {body.size} elements, header says {rows}x{cols}"
         )
-    return body.reshape(rows, cols).copy()
+    view = body.reshape(rows, cols)
+    return view.copy() if writable else view
 
 
 def write_matrix(dfs: DFS, path: str, matrix: np.ndarray) -> None:
@@ -72,10 +79,15 @@ def matrix_shape(dfs: DFS, path: str) -> tuple[int, int]:
     return rows, cols
 
 
-def read_rows(dfs: DFS, path: str, r1: int, r2: int, *, local: bool = False) -> np.ndarray:
+def read_rows(
+    dfs: DFS, path: str, r1: int, r2: int, *, local: bool = False,
+    writable: bool = False,
+) -> np.ndarray:
     """Read rows ``[r1, r2)`` of a binary matrix file without fetching the rest.
 
     This is the range-read a mapper issues for its contiguous row share.
+    Like :func:`decode_matrix`, the result is a read-only view over the
+    fetched bytes unless ``writable=True``.
     """
     rows, cols = matrix_shape(dfs, path)
     if not (0 <= r1 <= r2 <= rows):
@@ -83,7 +95,8 @@ def read_rows(dfs: DFS, path: str, r1: int, r2: int, *, local: bool = False) -> 
     row_bytes = cols * 8
     offset = _HEADER.size + r1 * row_bytes
     data = dfs.read_range(path, offset, (r2 - r1) * row_bytes, local=local)
-    return np.frombuffer(data, dtype=np.float64).reshape(r2 - r1, cols).copy()
+    view = np.frombuffer(data, dtype=np.float64).reshape(r2 - r1, cols)
+    return view.copy() if writable else view
 
 
 # -- text codec ---------------------------------------------------------------

@@ -33,6 +33,11 @@ class IOSnapshot:
     write_ops: int = 0
     repair_copies: int = 0
     corrupt_replicas_dropped: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_requested: int = 0
+    cache_bytes_served: int = 0
+    cache_bytes_missed: int = 0
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
@@ -48,6 +53,13 @@ class IOSnapshot:
             corrupt_replicas_dropped=(
                 self.corrupt_replicas_dropped - other.corrupt_replicas_dropped
             ),
+            cache_hits=self.cache_hits - other.cache_hits,
+            cache_misses=self.cache_misses - other.cache_misses,
+            cache_bytes_requested=(
+                self.cache_bytes_requested - other.cache_bytes_requested
+            ),
+            cache_bytes_served=self.cache_bytes_served - other.cache_bytes_served,
+            cache_bytes_missed=self.cache_bytes_missed - other.cache_bytes_missed,
         )
 
 
@@ -65,6 +77,11 @@ class IOStats:
     write_ops: int = 0  # guarded-by: _lock
     repair_copies: int = 0  # guarded-by: _lock
     corrupt_replicas_dropped: int = 0  # guarded-by: _lock
+    cache_hits: int = 0  # guarded-by: _lock
+    cache_misses: int = 0  # guarded-by: _lock
+    cache_bytes_requested: int = 0  # guarded-by: _lock
+    cache_bytes_served: int = 0  # guarded-by: _lock
+    cache_bytes_missed: int = 0  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_read(self, nbytes: int, *, local: bool = False) -> None:
@@ -99,6 +116,26 @@ class IOStats:
             self.bytes_written += nbytes
             self.bytes_transferred += nbytes
 
+    def record_cache_request(self, nbytes: int) -> None:
+        """A logical matrix read arrived at a cache-backed reader (recorded
+        whether it is then served from memory or read through)."""
+        with self._lock:
+            self.cache_bytes_requested += nbytes
+
+    def record_cache_hit(self, nbytes: int) -> None:
+        """A logical read served entirely from the decoded-block cache —
+        no DFS bytes moved."""
+        with self._lock:
+            self.cache_hits += 1
+            self.cache_bytes_served += nbytes
+
+    def record_cache_miss(self, nbytes: int) -> None:
+        """A cache-backed read that fell through to the DFS (its physical
+        bytes are accounted by :meth:`record_read` as usual)."""
+        with self._lock:
+            self.cache_misses += 1
+            self.cache_bytes_missed += nbytes
+
     def record_create(self) -> None:
         with self._lock:
             self.files_created += 1
@@ -124,6 +161,11 @@ class IOStats:
                 write_ops=self.write_ops,
                 repair_copies=self.repair_copies,
                 corrupt_replicas_dropped=self.corrupt_replicas_dropped,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                cache_bytes_requested=self.cache_bytes_requested,
+                cache_bytes_served=self.cache_bytes_served,
+                cache_bytes_missed=self.cache_bytes_missed,
             )
 
     def reset(self) -> None:
@@ -138,3 +180,8 @@ class IOStats:
             self.write_ops = 0
             self.repair_copies = 0
             self.corrupt_replicas_dropped = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.cache_bytes_requested = 0
+            self.cache_bytes_served = 0
+            self.cache_bytes_missed = 0

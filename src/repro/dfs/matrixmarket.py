@@ -65,21 +65,30 @@ def decode_matrix_market(text: str) -> np.ndarray:
         if len(size) != 2:
             raise MatrixMarketError(f"bad array size line: {body[0]!r}")
         rows, cols = int(size[0]), int(size[1])
-        values = [float(tok) for ln in body[1:] for tok in ln.split()]
+        values = np.fromiter(
+            (float(tok) for ln in body[1:] for tok in ln.split()),
+            dtype=np.float64,
+        )
         expected = rows * cols if symmetry == "general" else rows * (rows + 1) // 2
-        if len(values) != expected:
+        if values.size != expected:
             raise MatrixMarketError(
-                f"array body has {len(values)} values, expected {expected}"
+                f"array body has {values.size} values, expected {expected}"
             )
         if symmetry == "general":
-            return np.array(values).reshape(cols, rows).T.copy()
+            # Fill a preallocated row-major array through a transposed view
+            # of the column-major stream — no intermediate transpose copy.
+            out = np.empty((rows, cols))
+            out[:] = values.reshape(cols, rows).T
+            return out
         # Symmetric array stores the lower triangle column-major.
         out = np.zeros((rows, cols))
-        it = iter(values)
+        pos = 0
         for j in range(cols):
-            for i in range(j, rows):
-                v = next(it)
-                out[i, j] = out[j, i] = v
+            count = rows - j
+            col = values[pos : pos + count]
+            pos += count
+            out[j:, j] = col
+            out[j, j:] = col
         return out
 
     if layout == "coordinate":

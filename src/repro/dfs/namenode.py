@@ -50,10 +50,18 @@ def split_path(path: str) -> list[str]:
 
 @dataclass
 class FileEntry:
-    """Metadata for one regular file."""
+    """Metadata for one regular file.
+
+    ``generation`` is a namenode-global monotonic stamp assigned when the
+    entry is created.  Overwriting a path creates a *new* entry with a new
+    generation, so ``(path, generation)`` uniquely identifies one immutable
+    file content — the key the decoded-block cache uses to stay correct
+    across overwrite/rename/delete without explicit invalidation callbacks.
+    """
 
     name: str
     blocks: list[BlockInfo] = field(default_factory=list)
+    generation: int = 0
 
     @property
     def length(self) -> int:
@@ -79,6 +87,7 @@ class NameNode:
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self.root = DirEntry(name="")  # guarded-by: _lock
+        self._next_generation = 1  # guarded-by: _lock
 
     # -- traversal -----------------------------------------------------------
 
@@ -123,7 +132,8 @@ class NameNode:
                     raise IsADirectory(path)
                 if not overwrite:
                     raise FileAlreadyExists(path)
-            entry = FileEntry(name=name)
+            entry = FileEntry(name=name, generation=self._next_generation)
+            self._next_generation += 1
             parent.children[name] = entry
             return entry
 

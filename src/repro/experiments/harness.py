@@ -71,6 +71,9 @@ class ExperimentHarness:
             separate_files=separate_files,
             block_wrap=block_wrap,
             transpose_u=transpose_u,
+            # Paper-faithful physical read volumes (Figures 6-8, Tables 1-2):
+            # every logical read must hit the DFS, never a memory cache.
+            block_cache_bytes=0,
         )
         runtime = MapReduceRuntime(
             config=RuntimeConfig(num_workers=self.num_workers, executor=self.executor),

@@ -57,7 +57,9 @@ def run(n: int = 256, nb: int = 32, m0: int = 8, seed: int = 0) -> Table1Result:
     runtime = MapReduceRuntime(config=RuntimeConfig(num_workers=4))
     try:
         inverter = MatrixInverter(
-            config=InversionConfig(nb=nb, m0=m0), runtime=runtime
+            # Cache off: Table 1 models physical DFS reads.
+            config=InversionConfig(nb=nb, m0=m0, block_cache_bytes=0),
+            runtime=runtime,
         )
         factors = inverter.lu(a)
     finally:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..dfs.cache import DEFAULT_BLOCK_CACHE_BYTES
 from ..linalg.blockwrap import factor_grid
 from ..mapreduce.retry import RetryPolicy
 from ..telemetry.api import TraceConfig
@@ -63,6 +64,13 @@ class InversionConfig:
         Explicit :class:`~repro.telemetry.TraceConfig` for the run.  ``None``
         (default) uses the ambient tracer — enabled inside
         ``with repro.observe():`` blocks, a zero-cost no-op otherwise.
+    block_cache_bytes:
+        Capacity of the worker-shared decoded-block cache
+        (:class:`~repro.dfs.cache.BlockCache`) the driver attaches to the
+        runtime's DFS.  On by default — hot factor files are immutable and
+        re-read by every task in a wave.  Set 0 to disable; the Figure-7 /
+        Table-1 experiment harnesses do so, keeping the paper's physical
+        read-volume accounting byte-identical.
     """
 
     nb: int = 64
@@ -77,10 +85,13 @@ class InversionConfig:
     retry: RetryPolicy | None = None
     max_attempts: int = 4
     telemetry: TraceConfig | None = None
+    block_cache_bytes: int = DEFAULT_BLOCK_CACHE_BYTES
 
     def __post_init__(self) -> None:
         if self.nb < 1:
             raise ValueError("nb must be >= 1")
+        if self.block_cache_bytes < 0:
+            raise ValueError("block_cache_bytes must be >= 0")
         if self.m0 < 2:
             raise ValueError("m0 must be >= 2 (half map L2', half map U2)")
         if self.m0 % 2:

@@ -72,7 +72,9 @@ def read_lower(layout: Layout, node: PlanNode, reader) -> np.ndarray:
     """Assemble the full lower factor of ``node`` (unit diagonal explicit)."""
     nl = layout.of(node)
     if reader.exists(nl.l_path):
-        return formats.decode_matrix(reader.read_bytes(nl.l_path))
+        # Via the reader's matrix method (not raw bytes) so a decoded-block
+        # cache on the DFS serves repeated factor reads from memory.
+        return reader.read_matrix(nl.l_path)
     if node.is_leaf:
         raise FileNotFoundError(f"leaf factors missing: {nl.l_path}")
     n1 = node.n1
@@ -89,7 +91,7 @@ def read_upper(layout: Layout, node: PlanNode, reader) -> np.ndarray:
     """Assemble the full upper factor of ``node``."""
     nl = layout.of(node)
     if reader.exists(nl.u_path):
-        stored = formats.decode_matrix(reader.read_bytes(nl.u_path))
+        stored = reader.read_matrix(nl.u_path)
         return stored.T if layout.config.transpose_u else stored
     if node.is_leaf:
         raise FileNotFoundError(f"leaf factors missing: {nl.u_path}")

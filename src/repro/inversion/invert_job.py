@@ -176,7 +176,7 @@ def read_final_inverse(layout: Layout, reader) -> np.ndarray:
         rows, cols = reducer_indices(layout, p, n)
         if rows.size == 0 or cols.size == 0:
             continue
-        block = formats.decode_matrix(reader.read_bytes(layout.final_path(p)))
+        block = reader.read_matrix(layout.final_path(p))
         out[np.ix_(rows, perm[cols])] = block
     return out
 

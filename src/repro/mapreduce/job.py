@@ -121,7 +121,19 @@ class TaskContext:
         return data
 
     def read_matrix(self, path: str) -> np.ndarray:
-        m = formats.decode_matrix(self.read_bytes(path))
+        """Read a binary matrix file, served from the worker-shared decoded
+        cache when one is attached to the DFS.
+
+        Either way the task is accounted the file's full logical size (trace
+        + counters); only *physical* DFS traffic disappears on a hit.  The
+        result is read-only — copy before mutating.
+        """
+        cache = self.dfs.cache
+        if cache is None:
+            return formats.decode_matrix(self.read_bytes(path))
+        m, nbytes = cache.read_through(self.dfs, path)
+        self.dfs.stats.record_cache_request(nbytes)
+        self._account_read(nbytes)
         return m
 
     def write_matrix(self, path: str, matrix: np.ndarray) -> None:

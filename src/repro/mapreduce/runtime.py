@@ -57,10 +57,16 @@ class RuntimeConfig:
     #: (:class:`~repro.telemetry.TraceConfig`); ``None`` defers to each job
     #: conf and then to the ambient tracer (:func:`repro.observe`).
     telemetry: TraceConfig | None = None
+    #: Capacity of the worker-shared decoded-block cache
+    #: (:class:`~repro.dfs.cache.BlockCache`) attached to the runtime's DFS;
+    #: 0 (default) leaves the DFS as the caller configured it.
+    block_cache_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.block_cache_bytes < 0:
+            raise ValueError("block_cache_bytes must be >= 0")
         if self.job_launch_overhead < 0:
             raise ValueError("job_launch_overhead must be >= 0")
         if self.max_node_failures < 1:
@@ -80,6 +86,8 @@ class MapReduceRuntime:
     ) -> None:
         self.config = config or RuntimeConfig()
         self.dfs = dfs if dfs is not None else DFS()
+        if self.config.block_cache_bytes:
+            self.dfs.attach_cache(self.config.block_cache_bytes)
         self._executor = make_executor(self.config.executor, self.config.num_workers)
         self._tracker = JobTracker(
             self.dfs,

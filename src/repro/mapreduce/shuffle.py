@@ -119,12 +119,32 @@ def run_combiner(
     return combined
 
 
+class _CountingSink:
+    """Write-only file object that counts bytes instead of keeping them."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self) -> None:
+        self.nbytes = 0
+
+    def write(self, data: bytes) -> int:
+        self.nbytes += len(data)
+        return len(data)
+
+
 def shuffle_size_bytes(pairs: list[tuple[Any, Any]]) -> int:
     """Serialized size of a batch of pairs — the bytes that would cross the
-    network during shuffle (Hadoop moves serialized spill files)."""
+    network during shuffle (Hadoop moves serialized spill files).
+
+    Streams the pickle into a counting sink, so sizing a large map output
+    costs no allocation proportional to its serialized form (the count is
+    byte-identical to ``len(pickle.dumps(pairs))`` at the same protocol).
+    """
     if not pairs:
         return 0
-    return len(pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL))
+    sink = _CountingSink()
+    pickle.Pickler(sink, protocol=pickle.HIGHEST_PROTOCOL).dump(pairs)
+    return sink.nbytes
 
 
 def merge_map_outputs(

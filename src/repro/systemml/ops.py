@@ -88,7 +88,7 @@ def read_matrix(dfs: DFS, handle: DistributedMatrix) -> np.ndarray:
 
 
 def _read_chunk(ctx: TaskContext, handle: DistributedMatrix, i: int) -> np.ndarray:
-    return formats.decode_matrix(ctx.read_bytes(handle.chunk_path(i)))
+    return ctx.read_matrix(handle.chunk_path(i))
 
 
 def _read_rows(
@@ -248,9 +248,7 @@ class MatrixOps:
                 for j2, (c1, c2) in enumerate(col_ranges):
                     if c2 <= c1:
                         continue
-                    cell = formats.decode_matrix(
-                        ctx.read_bytes(f"{out.path}/cell.{j1}.{j2}")
-                    )
+                    cell = ctx.read_matrix(f"{out.path}/cell.{j1}.{j2}")
                     rows[o1 - r1 : o2 - r1, c1:c2] = cell[o1 - g1 : o2 - g1]
             ctx.write_bytes(out.chunk_path(j), formats.encode_matrix(rows))
 

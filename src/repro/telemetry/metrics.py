@@ -232,6 +232,11 @@ class MetricsRegistry:
             "write_ops",
             "repair_copies",
             "corrupt_replicas_dropped",
+            "cache_hits",
+            "cache_misses",
+            "cache_bytes_requested",
+            "cache_bytes_served",
+            "cache_bytes_missed",
         ):
             self.gauge(f"{prefix}.{field_name}").set(
                 float(getattr(snapshot, field_name))

@@ -93,10 +93,23 @@ class TotalsReconciliation:
     iostats_bytes_read: int = 0
     iostats_bytes_written: int = 0
     replication_factor: int = 1
+    cache_bytes_requested: int = 0
+    cache_bytes_served: int = 0
+    cache_bytes_missed: int = 0
 
     @property
     def read_delta(self) -> float:
         return _delta(self.span_bytes_read, self.iostats_bytes_read)
+
+    @property
+    def cache_delta(self) -> float:
+        """Decoded-block cache conservation: every logical byte requested
+        through a cache-backed reader is either served from memory or read
+        through the DFS — ``requested == served + missed`` exactly."""
+        return _delta(
+            self.cache_bytes_requested,
+            self.cache_bytes_served + self.cache_bytes_missed,
+        )
 
     @property
     def write_delta(self) -> float:
@@ -108,7 +121,11 @@ class TotalsReconciliation:
         )
 
     def within(self, tolerance: float) -> bool:
-        return self.read_delta <= tolerance and self.write_delta <= tolerance
+        return (
+            self.read_delta <= tolerance
+            and self.write_delta <= tolerance
+            and self.cache_delta <= tolerance
+        )
 
 
 @dataclass
@@ -180,6 +197,13 @@ class ReconciliationReport:
                 f"x{t.replication_factor} replicas vs {t.iostats_bytes_written:,} "
                 f"({t.write_delta * 100:.2f}%)"
             )
+            if t.cache_bytes_requested:
+                lines.append(
+                    f"  [{mark:>4}] block cache: requested "
+                    f"{t.cache_bytes_requested:,} vs served "
+                    f"{t.cache_bytes_served:,} + read-through "
+                    f"{t.cache_bytes_missed:,} ({t.cache_delta * 100:.2f}%)"
+                )
         if self.model is not None:
             mark = "ok" if self.model.ok else "FAIL"
             lo, hi = MODEL_RATIO_BOUNDS
@@ -276,6 +300,9 @@ def reconcile_run(
         totals = TotalsReconciliation(replication_factor=replication_factor)
         totals.iostats_bytes_read = io.bytes_read
         totals.iostats_bytes_written = io.bytes_written
+        totals.cache_bytes_requested = io.cache_bytes_requested
+        totals.cache_bytes_served = io.cache_bytes_served
+        totals.cache_bytes_missed = io.cache_bytes_missed
         for span in spans:
             if span.kind is SpanKind.DFS_READ:
                 totals.span_bytes_read += int(span.attrs.get("bytes", 0))

@@ -1,0 +1,262 @@
+"""Decoded-block cache: correctness, invalidation, zero-copy guarantees,
+fault semantics, and the paper-faithful accounting regression."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import InversionConfig, invert
+from repro.dfs import DFS, BlockCache
+from repro.dfs import formats
+from repro.dfs.blocks import BlockCorruptionError
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "fig7_read_volumes.json"
+
+
+def mat(rng, n: int) -> np.ndarray:
+    return rng.standard_normal((n, n))
+
+
+class TestBlockCacheUnit:
+    def test_put_get_roundtrip_and_lru_eviction(self):
+        cache = BlockCache(capacity_bytes=3 * 800)  # room for three 10x10
+        arrays = {}
+        for i in range(4):
+            a = np.arange(100, dtype=np.float64).reshape(10, 10) + i
+            a.flags.writeable = False
+            arrays[i] = a
+            cache.put((f"/f{i}", i), a)
+        # 10x10 float64 = 800 B; the fourth insert evicts the LRU (i=0).
+        assert cache.get(("/f0", 0)) is None
+        assert cache.get(("/f3", 3)) is arrays[3]
+        assert cache.stats()["evictions"] == 1
+        assert cache.used_bytes <= cache.capacity_bytes
+
+    def test_get_bumps_recency(self):
+        cache = BlockCache(capacity_bytes=2 * 800)
+        a, b, c = (np.zeros((10, 10)) for _ in range(3))
+        for arr in (a, b, c):
+            arr.flags.writeable = False
+        cache.put(("/a", 1), a)
+        cache.put(("/b", 2), b)
+        assert cache.get(("/a", 1)) is a  # bump /a
+        cache.put(("/c", 3), c)  # evicts /b, not /a
+        assert cache.get(("/b", 2)) is None
+        assert cache.get(("/a", 1)) is a
+
+    def test_oversized_and_writable_values_are_rejected(self):
+        cache = BlockCache(capacity_bytes=100)
+        big = np.zeros((10, 10))
+        big.flags.writeable = False
+        assert not cache.put(("/big", 1), big)  # 800 B > 100 B capacity
+        small_writable = np.zeros((2, 2))
+        assert not cache.put(("/w", 1), small_writable)
+        assert len(cache) == 0
+
+    def test_drop_path_removes_file_and_subtree(self):
+        cache = BlockCache(capacity_bytes=1 << 20)
+        for i, path in enumerate(["/dir/a", "/dir/sub/b", "/other/c"]):
+            arr = np.zeros((2, 2))
+            arr.flags.writeable = False
+            cache.put((path, i), arr)
+        assert cache.drop_path("/dir") == 2
+        assert len(cache) == 1
+        assert cache.get(("/other/c", 2)) is not None
+
+
+class TestReadThrough:
+    def test_hit_returns_same_object_and_moves_no_bytes(self, dfs, rng):
+        cache = dfs.attach_cache(1 << 20)
+        a = mat(rng, 8)
+        formats.write_matrix(dfs, "/m.bin", a)
+        first, n1 = cache.read_through(dfs, "/m.bin")
+        before = dfs.stats.snapshot()
+        second, n2 = cache.read_through(dfs, "/m.bin")
+        delta = dfs.stats.snapshot() - before
+        assert second is first  # one shared decoded object
+        assert n1 == n2 == dfs.file_size("/m.bin")
+        assert delta.bytes_read == 0  # no physical I/O on a hit
+        assert delta.cache_hits == 1 and delta.cache_bytes_served == n1
+        np.testing.assert_array_equal(first, a)
+
+    def test_results_are_read_only(self, dfs, rng):
+        cache = dfs.attach_cache(1 << 20)
+        formats.write_matrix(dfs, "/m.bin", mat(rng, 6))
+        m, _ = cache.read_through(dfs, "/m.bin")
+        with pytest.raises((ValueError, RuntimeError)):
+            m[0, 0] = 42.0
+
+    def test_overwrite_invalidates_via_generation(self, dfs, rng):
+        cache = dfs.attach_cache(1 << 20)
+        a, b = mat(rng, 6), mat(rng, 6)
+        formats.write_matrix(dfs, "/m.bin", a)
+        got, _ = cache.read_through(dfs, "/m.bin")
+        np.testing.assert_array_equal(got, a)
+        formats.write_matrix(dfs, "/m.bin", b)  # overwrite -> new generation
+        got, _ = cache.read_through(dfs, "/m.bin")
+        np.testing.assert_array_equal(got, b)
+
+    def test_rename_never_serves_stale_and_drops_old_keys(self, dfs, rng):
+        cache = dfs.attach_cache(1 << 20)
+        a, b = mat(rng, 6), mat(rng, 6)
+        formats.write_matrix(dfs, "/old.bin", a)
+        cache.read_through(dfs, "/old.bin")
+        assert len(cache) == 1
+        dfs.rename("/old.bin", "/new.bin")
+        assert len(cache) == 0  # hygiene: unreachable keys dropped eagerly
+        # A different file can now take the old path without any staleness.
+        formats.write_matrix(dfs, "/old.bin", b)
+        got, _ = cache.read_through(dfs, "/old.bin")
+        np.testing.assert_array_equal(got, b)
+        got, _ = cache.read_through(dfs, "/new.bin")
+        np.testing.assert_array_equal(got, a)
+
+    def test_delete_drops_cached_entries(self, dfs, rng):
+        cache = dfs.attach_cache(1 << 20)
+        formats.write_matrix(dfs, "/d/m.bin", mat(rng, 6))
+        cache.read_through(dfs, "/d/m.bin")
+        assert len(cache) == 1
+        dfs.delete("/d", recursive=True)
+        assert len(cache) == 0
+
+    def test_accounting_conserves_requested_bytes(self, rng):
+        a = mat(rng, 64) + 64 * np.eye(64)
+        res = invert(a, InversionConfig(nb=16, m0=4))
+        io = res.io
+        assert io.cache_hits > 0
+        assert io.cache_bytes_requested == io.cache_bytes_served + io.cache_bytes_missed
+        assert res.residual(a) < 1e-8
+
+
+class TestZeroCopy:
+    def test_decode_matrix_is_readonly_view_by_default(self, rng):
+        a = mat(rng, 5)
+        data = formats.encode_matrix(a)
+        m = formats.decode_matrix(data)
+        assert not m.flags.writeable
+        assert m.base is not None  # a view over the payload, not a copy
+        writable = formats.decode_matrix(data, writable=True)
+        assert writable.flags.writeable
+        writable[0, 0] = 1.0  # private copy: mutation is safe
+        np.testing.assert_array_equal(m, a)
+
+    def test_single_block_read_returns_stored_payload(self, dfs):
+        payload = b"x" * 100  # well under the 64 KiB block size
+        dfs.write_bytes("/one.bin", payload)
+        entry = dfs.namenode.get_file("/one.bin")
+        assert len(entry.blocks) == 1
+        stored = dfs.blocks.read_block(entry.blocks[0])
+        # Zero-copy both ways: the writer kept the caller's bytes object and
+        # the single-block read returns it without a join.
+        assert stored is payload
+        assert dfs.read_bytes("/one.bin") is payload
+
+    def test_multi_block_read_roundtrips(self, dfs, rng):
+        data = rng.integers(0, 256, size=3 * (1 << 16) + 17, dtype=np.uint8).tobytes()
+        dfs.write_bytes("/multi.bin", data)
+        assert len(dfs.namenode.get_file("/multi.bin").blocks) == 4
+        assert dfs.read_bytes("/multi.bin") == data
+
+    def test_read_range_single_and_cross_block(self, dfs, rng):
+        block = 1 << 16
+        data = rng.integers(0, 256, size=3 * block, dtype=np.uint8).tobytes()
+        dfs.write_bytes("/r.bin", data)
+        # Exactly one whole block: served without any copy.
+        assert dfs.read_range("/r.bin", block, block) == data[block : 2 * block]
+        # Crossing a block boundary.
+        assert dfs.read_range("/r.bin", block - 7, 20) == data[block - 7 : block + 13]
+        # Sub-block slice.
+        assert dfs.read_range("/r.bin", 3, 9) == data[3:12]
+
+    def test_replicas_share_one_payload_object(self, dfs):
+        dfs.write_bytes("/shared.bin", b"y" * 50)
+        info = dfs.namenode.get_file("/shared.bin").blocks[0]
+        payloads = [
+            dfs.blocks.datanodes[idx].get(info.block_id) for idx in info.replicas
+        ]
+        assert len(payloads) == 3
+        assert all(p is payloads[0] for p in payloads)
+
+    def test_corrupt_materializes_private_copy(self, dfs):
+        dfs.write_bytes("/c.bin", b"z" * 50)
+        info = dfs.namenode.get_file("/c.bin").blocks[0]
+        victim, *others = info.replicas
+        assert dfs.blocks.corrupt_replica(info, victim)
+        bad = dfs.blocks.datanodes[victim].get(info.block_id)
+        good = dfs.blocks.datanodes[others[0]].get(info.block_id)
+        assert bad is not good  # chaos mutation never leaks into siblings
+        assert good == b"z" * 50
+        assert bad != good
+
+
+class TestFaultSemantics:
+    def test_cold_cache_read_still_detects_corruption(self, dfs, rng):
+        """The cache sits above checksums: a miss goes through the verified
+        read path, so all-replica corruption surfaces exactly as before."""
+        dfs.attach_cache(1 << 20)
+        formats.write_matrix(dfs, "/f.bin", mat(rng, 8))
+        info = dfs.namenode.get_file("/f.bin").blocks[0]
+        for node in info.replicas:
+            dfs.blocks.corrupt_replica(info, node)
+        with pytest.raises(BlockCorruptionError):
+            dfs.cache.read_through(dfs, "/f.bin")
+
+    def test_chaos_schedule_with_corruption_stays_green(self):
+        """Full kill-revive-corrupt chaos run with the (default-on) cache:
+        checksums still route reads around rot and the scrub still drops the
+        bad copies — the cache never masks integrity checks."""
+        from repro.chaos import run_schedule, schedule_by_name
+
+        outcome = run_schedule(schedule_by_name("kill-revive-corrupt", seed=0), seed=0)
+        assert outcome.ok, (outcome.error, outcome.invariants)
+        assert outcome.corrupt_dropped > 0
+
+
+class TestPaperAccounting:
+    def test_fig7_read_volumes_pinned_with_cache_disabled(self, rng):
+        """Regression against the pre-cache seed: with ``block_cache_bytes=0``
+        the Figure-7 physical read accounting is byte-identical."""
+        golden = json.loads(GOLDEN.read_text())
+        n = golden["n"]
+        g = np.random.default_rng(golden["rng_seed"])
+        a = g.standard_normal((n, n)) + golden["shift"] * np.eye(n)
+        for key, wrap in (("block_wrap_on", True), ("block_wrap_off", False)):
+            res = invert(
+                a,
+                InversionConfig(
+                    nb=golden["nb"], m0=golden["m0"], block_wrap=wrap,
+                    block_cache_bytes=0,
+                ),
+            )
+            expect = golden["io"][key]
+            assert res.io.bytes_read == expect["bytes_read"], key
+            assert res.io.bytes_written == expect["bytes_written"], key
+            assert res.io.read_ops == expect["read_ops"], key
+            assert res.io.files_opened == expect["files_opened"], key
+            assert res.io.cache_bytes_requested == 0  # cache fully out of play
+
+    def test_cache_reduces_physical_reads_only(self, rng):
+        """Logical (task-trace) reads are invariant; physical DFS reads drop."""
+        a = mat(rng, 96) + 0.1 * np.eye(96)
+        cfg = InversionConfig(nb=24, m0=4)
+        on = invert(a, cfg)
+        off = invert(a, cfg.with_overrides(block_cache_bytes=0))
+        logical_on = sum(t.bytes_read for t in on.record.all_traces())
+        logical_off = sum(t.bytes_read for t in off.record.all_traces())
+        assert logical_on == logical_off
+        assert on.io.bytes_read < off.io.bytes_read
+        np.testing.assert_allclose(on.inverse, off.inverse)
+
+    def test_reconcile_reports_cache_term(self):
+        from repro.telemetry.cli import run_traced_inversion
+
+        obs, result, report = run_traced_inversion(n=64, nb=16, m0=4)
+        assert report.ok, report.format()
+        assert report.totals is not None
+        assert report.totals.cache_bytes_requested > 0
+        assert report.totals.cache_delta == 0.0
+        assert "block cache" in report.format()

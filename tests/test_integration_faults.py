@@ -78,6 +78,9 @@ class TestDatanodeFailures:
         for info in entry.blocks:
             for node in info.replicas:
                 rt.dfs.blocks.datanodes[node].drop(info.block_id)
+        # Drop the decoded-block cache: it would (correctly) still serve the
+        # file from memory; this test pins the *DFS* failure surface.
+        rt.dfs.detach_cache()
         with pytest.raises(JobFailedError):
             inv.distributed_residual(result)
         rt.shutdown()
