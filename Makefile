@@ -11,13 +11,14 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Static analysis. The repro linter (plan dataflow + mapper/reducer purity
-# + lock discipline) needs only the runtime deps; ruff and mypy run when
-# installed (dev extras) and are skipped with a notice otherwise, so
-# `make lint` works everywhere.
+# + lock discipline + process safety) needs only the runtime deps; ruff and
+# mypy run when installed (dev extras) and are skipped with a notice
+# otherwise, so `make lint` works everywhere.  The self-check seeds defects
+# through every analyzer; lint_summary.py then sweeps the real code with
+# all of them and prints one findings table per rule family.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint --self-check
-	PYTHONPATH=src $(PYTHON) -m repro lint examples/*.py src/repro/experiments/*.py
-	PYTHONPATH=src $(PYTHON) -m repro lint --concurrency
+	PYTHONPATH=src $(PYTHON) scripts/lint_summary.py
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests examples; \
 	else \

@@ -1,0 +1,87 @@
+"""Run every static analyzer and print one summary table per rule family.
+
+Usage:  PYTHONPATH=src python scripts/lint_summary.py
+
+Four sweeps, one line each:
+
+* **PL** — plan dataflow rules at the acceptance configuration.
+* **PU** — task-purity rules over the shipped examples and experiment
+  drivers (plus the pipeline's own job confs, linted alongside PL).
+* **CN** — lock-discipline rules over the engine's threaded modules.
+* **PS** — process-safety rules over the whole ``repro`` package.
+
+Any finding is listed below its family's row.  Exit status 0 iff no
+error-severity findings anywhere — the single gate ``make lint`` rides on.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402
+    Severity,
+    analyze_concurrency_files,
+    analyze_procsafety_files,
+    default_procsafety_files,
+    default_threaded_files,
+    lint_pipeline,
+    lint_source_file,
+)
+
+
+def main() -> int:
+    rows = []
+    all_findings = []
+
+    t0 = time.perf_counter()
+    pl_pu, _model = lint_pipeline(4096)
+    rows.append(("PL+PU", "pipeline n=4096 nb=512", 1, pl_pu, time.perf_counter() - t0))
+
+    source_paths = sorted((ROOT / "examples").glob("*.py"))
+    source_paths += sorted((ROOT / "src" / "repro" / "experiments").glob("*.py"))
+    t0 = time.perf_counter()
+    pu = [f for p in source_paths for f in lint_source_file(p)]
+    rows.append(("PU", "examples + experiments", len(source_paths), pu, time.perf_counter() - t0))
+
+    cn_paths = default_threaded_files()
+    t0 = time.perf_counter()
+    cn = analyze_concurrency_files(cn_paths)
+    rows.append(("CN", "engine threaded modules", len(cn_paths), cn, time.perf_counter() - t0))
+
+    ps_paths = default_procsafety_files()
+    t0 = time.perf_counter()
+    ps = analyze_procsafety_files(ps_paths)
+    rows.append(("PS", "whole repro package", len(ps_paths), ps, time.perf_counter() - t0))
+
+    header = f"{'family':<8}{'sweep':<26}{'modules':>8}{'errors':>8}{'warnings':>10}{'info':>6}{'secs':>8}"
+    print(header)
+    print("-" * len(header))
+    for family, sweep, nmods, findings, secs in rows:
+        errors = sum(1 for f in findings if f.severity == Severity.ERROR)
+        warnings = sum(1 for f in findings if f.severity == Severity.WARNING)
+        infos = len(findings) - errors - warnings
+        print(
+            f"{family:<8}{sweep:<26}{nmods:>8}{errors:>8}{warnings:>10}"
+            f"{infos:>6}{secs:>8.2f}"
+        )
+        all_findings.extend(findings)
+
+    if all_findings:
+        print()
+        for f in sorted(all_findings, key=lambda f: (f.rule, f.location or "")):
+            loc = f" [{f.location}]" if f.location else ""
+            print(f"  {f.rule} {f.severity.value}{loc}: {f.message}")
+    else:
+        print("\nall analyzers clean")
+
+    n_errors = sum(1 for f in all_findings if f.severity == Severity.ERROR)
+    return 1 if n_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

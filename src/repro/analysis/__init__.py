@@ -16,6 +16,10 @@ task executes.  This package does exactly that:
 * :mod:`~repro.analysis.concurrency` — lock-discipline rules (``CN0xx``):
   ``# guarded-by:`` lockset checking, lock-order deadlock cycles, locks
   held across blocking calls — proved over the threaded engine itself;
+* :mod:`~repro.analysis.procsafety` — process-safety/ownership rules
+  (``PS0xx``): closure-capture, escape, and borrowed-view mutation analysis
+  over task-boundary code — the static gate for the planned
+  ``ProcessPoolBackend``;
 * :mod:`~repro.analysis.cli` — ``python -m repro lint``.
 
 The driver runs :func:`preflight_check` before each pipeline (opt out with
@@ -44,6 +48,12 @@ from .findings import (
 )
 from .model import PipelineModel, StepModel, build_model
 from .planlint import lint_model, lint_plan
+from .procsafety import (
+    ProcSafetyAnalyzer,
+    analyze_procsafety_files,
+    analyze_procsafety_sources,
+    default_procsafety_files,
+)
 from .purity import analyze_callable, analyze_job, analyze_source
 
 __all__ = [
@@ -51,6 +61,7 @@ __all__ = [
     "Finding",
     "PipelineModel",
     "PreflightError",
+    "ProcSafetyAnalyzer",
     "RULES",
     "RuleSpec",
     "Severity",
@@ -60,8 +71,11 @@ __all__ = [
     "analyze_concurrency_files",
     "analyze_concurrency_sources",
     "analyze_job",
+    "analyze_procsafety_files",
+    "analyze_procsafety_sources",
     "analyze_source",
     "build_model",
+    "default_procsafety_files",
     "default_threaded_files",
     "filter_ignored",
     "has_errors",

@@ -14,10 +14,15 @@ Three modes:
   analyzer (rules ``CN001``–``CN008``) over the given paths, or over the
   engine's threaded modules (``repro.mapreduce``, ``repro.dfs``,
   ``repro.telemetry``) when no paths are given;
+* **process-safety mode** (``--procsafety``): run the closure-capture /
+  escape / mutation analyzer (rules ``PS001``–``PS008``) over the given
+  paths, or over the whole ``repro`` package when no paths are given —
+  the gate the planned ``ProcessPoolBackend`` rides on;
 * **--self-check**: assert the analyzers themselves work — clean plans
   produce no findings, seeded defects produce the expected rule ids, and
-  the engine's threaded modules pass the concurrency analyzer — so
-  ``make lint`` has a real gate even where ruff/mypy are unavailable.
+  the engine's own modules pass the concurrency and process-safety
+  analyzers — so ``make lint`` has a real gate even where ruff/mypy are
+  unavailable.
 
 Exit status is nonzero iff any error-severity finding survives
 ``--ignore`` / inline suppressions, making the command scriptable in CI.
@@ -41,6 +46,7 @@ from .findings import (
     render_text,
 )
 from .concurrency import analyze_concurrency_files, default_threaded_files
+from .procsafety import analyze_procsafety_files, default_procsafety_files
 from .model import PipelineModel, build_model
 from .planlint import lint_model, lint_plan
 from .purity import analyze_job, analyze_source
@@ -405,6 +411,91 @@ class Good:
         render_text(engine_findings),
     )
 
+    # 5. Process-safety analyzer: seeded-bad sources fire every PS rule, the
+    # whole engine package is clean.
+    from .procsafety import analyze_procsafety_sources
+
+    bad_tasks = """\
+import threading
+import numpy as np
+from repro.dfs import DFS
+from repro.mapreduce import FnMapper, JobConf
+
+REGISTRY = {}
+lock = threading.Lock()
+dfs = DFS()
+log_file = open("/tmp/task.log", "w")
+
+def helper_scale(m, factor):
+    m *= factor
+
+def task(ctx, split):
+    with lock:
+        pass
+    dfs.read_bytes("/a")
+    log_file.write("x")
+    REGISTRY[split.index] = 1
+    m = ctx.read_matrix("/m")
+    m[0, 0] = 2.0
+    helper_scale(ctx.read_matrix("/m2"), 2.0)
+    np.random.shuffle([1, 2])
+    return m
+
+conf = JobConf(name="t", mapper_factory=lambda: FnMapper(task), splits=[])
+"""
+    ps_rules = {
+        f.rule
+        for f in analyze_procsafety_sources([(bad_tasks, "bad_tasks.py")])
+    }
+    check(
+        "seeded process-safety defects -> PS001/2/3/4/5/6/7",
+        {"PS001", "PS002", "PS003", "PS004", "PS005", "PS006", "PS007"}
+        <= ps_rules,
+        str(ps_rules),
+    )
+
+    bad_shm = """\
+import numpy as np
+from multiprocessing import shared_memory
+
+def ship_block(name):
+    shm = shared_memory.SharedMemory(name=name)
+    view = np.frombuffer(shm.buf, dtype=np.float64)
+    shm.close()
+    return float(view[0])
+"""
+    shm_rules = {
+        f.rule for f in analyze_procsafety_sources([(bad_shm, "bad_shm.py")])
+    }
+    check("view used after shm.close() -> PS008", shm_rules == {"PS008"},
+          str(shm_rules))
+
+    clean_task = """\
+import numpy as np
+from repro.mapreduce import FnMapper, JobConf
+
+def task(ctx, split):
+    rng = np.random.default_rng(1000 + split.index)
+    m = ctx.read_matrix("/m")
+    out = m @ m + rng.standard_normal(m.shape)
+    ctx.write_matrix(f"/out/part.{split.index}", out)
+
+conf = JobConf(name="t", mapper_factory=lambda: FnMapper(task), splits=[])
+"""
+    clean_ps = analyze_procsafety_sources([(clean_task, "clean_task.py")])
+    check(
+        "context-disciplined task -> no process-safety findings",
+        not clean_ps,
+        render_text(clean_ps),
+    )
+
+    engine_ps = analyze_procsafety_files(default_procsafety_files())
+    check(
+        "whole repro package process-safety-clean (ProcessPoolBackend gate)",
+        not engine_ps,
+        render_text(engine_ps),
+    )
+
     if failures:
         print(f"self-check FAILED ({len(failures)} failure(s))")
         return 1
@@ -443,6 +534,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "over the engine's threaded modules when no paths are given",
     )
     parser.add_argument(
+        "--procsafety",
+        action="store_true",
+        help="run the process-safety/ownership analyzer (PS rules) over "
+        "PATHS, or over the whole repro package when no paths are given",
+    )
+    parser.add_argument(
         "--self-check",
         action="store_true",
         help="verify the analyzers against clean and deliberately corrupted "
@@ -454,15 +551,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _self_check()
 
     findings: list[Finding] = []
-    if args.concurrency:
-        paths = [pathlib.Path(p) for p in args.paths] or default_threaded_files()
+    if args.concurrency or args.procsafety:
+        if args.concurrency:
+            analyze, default_paths, label = (
+                analyze_concurrency_files, default_threaded_files, "concurrency"
+            )
+        else:
+            analyze, default_paths, label = (
+                analyze_procsafety_files, default_procsafety_files, "procsafety"
+            )
+        paths = [pathlib.Path(p) for p in args.paths] or default_paths()
         try:
-            findings = analyze_concurrency_files(paths)
+            findings = analyze(paths)
         except OSError as exc:
             print(f"cannot read sources: {exc}", file=sys.stderr)
             return 2
         if not args.json:
-            print(f"concurrency: analyzed {len(paths)} module(s)")
+            print(f"{label}: analyzed {len(paths)} module(s)")
         findings = filter_ignored(findings, args.ignore.split(","))
         print(render_json(findings) if args.json else render_text(findings))
         return 1 if has_errors(findings) else 0
@@ -501,6 +606,6 @@ def register_commands(registry) -> None:
         "lint",
         main,
         help="statically validate pipelines without running them "
-        "(plan dataflow + mapper/reducer purity + lock discipline); "
-        "see python -m repro lint --help",
+        "(plan dataflow + mapper/reducer purity + lock discipline + "
+        "process safety); see python -m repro lint --help",
     )

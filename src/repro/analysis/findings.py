@@ -101,6 +101,29 @@ RULES: dict[str, RuleSpec] = {
         RuleSpec("CN008", Severity.WARNING,
                  "thread-shared closure state mutated without a lock in an "
                  "escaping callback"),
+        # -- process-safety / ownership rules (procsafety) ---------------------
+        RuleSpec("PS001", Severity.ERROR,
+                 "unpicklable object captured in a task closure (thread, "
+                 "open file, subprocess, generator)"),
+        RuleSpec("PS002", Severity.ERROR,
+                 "engine handle (DFS/NameNode/JobTracker/runtime) captured "
+                 "by value instead of received via TaskContext"),
+        RuleSpec("PS003", Severity.ERROR,
+                 "module-global state mutated from task code"),
+        RuleSpec("PS004", Severity.ERROR,
+                 "in-place mutation of a borrowed DFS read view (read "
+                 "without writable=True)"),
+        RuleSpec("PS005", Severity.WARNING,
+                 "borrowed DFS read view escapes the task scope (returned, "
+                 "stored on self, or appended to a captured container)"),
+        RuleSpec("PS006", Severity.ERROR,
+                 "fork-unsafe global RNG used in task code (forked workers "
+                 "inherit identical generator state)"),
+        RuleSpec("PS007", Severity.ERROR,
+                 "lock/condition primitive crosses a task boundary"),
+        RuleSpec("PS008", Severity.ERROR,
+                 "shared_memory segment closed/unlinked while a frombuffer "
+                 "view is live"),
     )
 }
 

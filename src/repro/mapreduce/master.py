@@ -321,9 +321,9 @@ class JobTracker:
         def make_thunk(idx: int, attempt_id: TaskAttemptId, node: int, wave_span):
             item = work_items[idx]
             if wave_span is None:
-                return lambda: run_one(item, attempt_id, node)
+                return lambda: run_one(item, attempt_id, node)  # task-boundary
 
-            def traced() -> Any:
+            def traced() -> Any:  # task-boundary
                 with tracer.span(
                     str(attempt_id),
                     SpanKind.TASK,
@@ -335,7 +335,11 @@ class JobTracker:
                         "phase": kind.value,
                     },
                 ) as tspan:
-                    with spans_lock:
+                    # Thread-backend-only: thunks stay in-process, so the
+                    # captured lock is shareable.  The ProcessPoolBackend
+                    # will ship (conf, split) descriptors instead of these
+                    # closures and record spans worker-side (ROADMAP).
+                    with spans_lock:  # lint: ignore[PS007]
                         attempt_spans[(idx, attempt_id.attempt)] = tspan
                     out = run_one(item, attempt_id, node)
                     trace = getattr(out, "trace", None)

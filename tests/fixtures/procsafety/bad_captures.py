@@ -1,0 +1,31 @@
+"""Seeded-defect fixture: task closures capturing objects that cannot cross
+a process boundary — PS001 (file handle, generator), PS002 (DFS handle),
+PS007 (lock).  Analyzed as text only; never imported.
+"""
+
+import threading
+
+from repro.dfs import DFS
+from repro.mapreduce import FnMapper, JobConf, splits_for_workers
+
+dfs = DFS(num_datanodes=3)
+audit_log = open("/tmp/audit.log", "a")
+ticket_stream = (i * i for i in range(1000))
+progress_lock = threading.Lock()
+
+
+def leaky_task(ctx, split):
+    with progress_lock:  # PS007: lock crosses the task boundary
+        pass
+    data = dfs.read_bytes("/in/part")  # PS002: captured DFS, not ctx
+    audit_log.write(f"{split.index}\n")  # PS001: open file handle
+    ticket = next(ticket_stream)  # PS001: generator state can't fork
+    ctx.emit(split.index, (len(data), ticket))
+
+
+def job() -> JobConf:
+    return JobConf(
+        name="bad-captures",
+        mapper_factory=lambda: FnMapper(leaky_task),
+        splits=splits_for_workers(2),
+    )

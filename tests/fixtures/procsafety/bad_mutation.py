@@ -1,0 +1,34 @@
+"""Seeded-defect fixture: ownership violations — PS003 (module-global
+mutation), PS004 (borrowed-view mutation, direct and through a helper),
+PS005 (borrowed view escaping the task).  Analyzed as text only.
+"""
+
+import numpy as np
+
+from repro.mapreduce import Mapper
+
+RESULTS_BY_TASK = {}
+_sink = []
+
+
+def _normalize_rows(m, eps):
+    """In-place helper: callers must own ``m``."""
+    m /= np.abs(m).sum(axis=1, keepdims=True) + eps
+
+
+class MutatingMapper(Mapper):
+    def map(self, ctx, split):
+        RESULTS_BY_TASK[split.index] = split.payload  # PS003: module global
+        m = ctx.read_matrix(f"/in/part.{split.index}")
+        m[0, 0] = 0.0  # PS004: slice assignment on a borrowed view
+        _normalize_rows(m, 1e-9)  # PS004: helper mutates its parameter
+        _sink.append(m)  # PS005: borrowed view escapes into a captured list
+        self.last = m  # PS005: borrowed view stored on self
+        ctx.emit(split.index, float(m.sum()))
+
+
+class ReturningMapper(Mapper):
+    def map(self, ctx, split):
+        block = ctx.read_rows("/in/big", 0, 4)
+        np.multiply(block, 2.0, out=block)  # PS004: out= targets the view
+        return block  # PS005: borrowed view returned

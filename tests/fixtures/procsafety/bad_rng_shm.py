@@ -1,0 +1,23 @@
+"""Seeded-defect fixture: PS006 (process-wide global RNG in task code) and
+PS008 (shared_memory segment closed while a frombuffer view is live).
+Analyzed as text only; never imported.
+"""
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from repro.mapreduce import Mapper
+
+
+class NoisyMapper(Mapper):
+    def map(self, ctx, split):
+        noise = np.random.standard_normal(8)  # PS006: global RNG
+        ctx.emit(split.index, float(noise.sum()))
+
+
+def read_shared_block(name: str) -> float:
+    """The lifetime bug the ProcessPoolBackend transport must never ship."""
+    shm = shared_memory.SharedMemory(name=name)
+    view = np.frombuffer(shm.buf, dtype=np.float64)
+    shm.close()
+    return float(view.sum())  # PS008: view outlives its segment

@@ -1,0 +1,61 @@
+"""Clean fixture: context-disciplined task code the process-safety analyzer
+must accept without findings.
+
+Every hazard class has its sanctioned counterpart here: storage access goes
+through the TaskContext, randomness comes from a private generator seeded by
+the split, mutable outputs are fresh arrays or explicit ``writable=True``
+private copies, and factories capture only picklable configuration.
+"""
+
+import numpy as np
+
+from repro.dfs import formats
+from repro.mapreduce import FnMapper, JobConf, Mapper, Reducer, splits_for_workers
+
+CHUNKS = 4  # plain picklable configuration; fine to capture
+
+
+class BlockMapper(Mapper):
+    """Reads through the context, writes fresh arrays."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root  # a string ships fine
+
+    def map(self, ctx, split):
+        j = split.payload
+        rng = np.random.default_rng(1000 + j)  # private, split-seeded RNG
+        m = ctx.read_matrix(f"{self.root}/in/part.{j}")
+        out = m @ m.T + rng.standard_normal(m.shape)  # new array, not a view
+        ctx.write_matrix(f"{self.root}/out/part.{j}", out)
+        ctx.emit(j, float(np.trace(out)))
+
+
+class SumReducer(Reducer):
+    def reduce(self, ctx, key, values):
+        ctx.emit(key, sum(values))
+
+
+def scale_task(ctx, split):
+    """A writable=True read is a private copy: in-place mutation is fine."""
+    m = formats.read_rows(ctx.dfs, "/in/big", 0, 8, writable=True)
+    m *= 2.0
+    local = ctx.read_matrix("/in/small").copy()  # explicit copy, also fine
+    local += 1.0
+    ctx.write_matrix(f"/out/part.{split.index}", m + local)
+
+
+def job(root: str) -> JobConf:
+    return JobConf(
+        name="good-tasks",
+        mapper_factory=lambda: BlockMapper(root),  # captures a str only
+        reducer_factory=lambda: SumReducer(),
+        splits=splits_for_workers(CHUNKS),
+    )
+
+
+def scale_job() -> JobConf:
+    return JobConf(
+        name="good-scale",
+        mapper_factory=lambda: FnMapper(scale_task),
+        splits=splits_for_workers(CHUNKS),
+    )

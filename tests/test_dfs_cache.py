@@ -172,6 +172,51 @@ class TestZeroCopy:
         # Sub-block slice.
         assert dfs.read_range("/r.bin", 3, 9) == data[3:12]
 
+    def test_read_range_empty_is_empty_bytes(self, dfs):
+        """Zero-length and at-EOF ranges touch no blocks and return ``b""``."""
+        dfs.write_bytes("/e.bin", b"abcdef")
+        before = dfs.stats.bytes_read
+        assert dfs.read_range("/e.bin", 0, 0) == b""
+        assert dfs.read_range("/e.bin", 3, 0) == b""
+        assert dfs.read_range("/e.bin", 6, 10) == b""  # starts at EOF
+        assert dfs.stats.bytes_read == before  # nothing was transferred
+
+    def test_read_range_exact_block_is_payload_identity(self, dfs, rng):
+        """A range covering exactly one whole block returns the stored
+        payload object itself — no slice, no join."""
+        block = 1 << 16
+        data = rng.integers(0, 256, size=2 * block, dtype=np.uint8).tobytes()
+        dfs.write_bytes("/ident.bin", data)
+        entry = dfs.namenode.get_file("/ident.bin")
+        second = dfs.blocks.read_block(entry.blocks[1])
+        assert dfs.read_range("/ident.bin", block, block) is second
+
+    def test_read_range_at_block_boundary(self, dfs, rng):
+        """Ranges that start or end exactly on a block edge never bleed a
+        byte across it."""
+        block = 1 << 16
+        data = rng.integers(0, 256, size=3 * block, dtype=np.uint8).tobytes()
+        dfs.write_bytes("/edge.bin", data)
+        # Ends exactly at the first boundary: only block 0 is read.
+        assert dfs.read_range("/edge.bin", block - 5, 5) == data[block - 5 : block]
+        # Starts exactly at the boundary: only block 1 is read.
+        assert dfs.read_range("/edge.bin", block, 5) == data[block : block + 5]
+        # Spans exactly two whole blocks: joined from the two payloads.
+        assert dfs.read_range("/edge.bin", block, 2 * block) == data[block:]
+
+    def test_read_range_sub_block_slices_via_memoryview(self, dfs):
+        """A sub-block range is carved with a memoryview, so the bytes are
+        copied exactly once (by the final join/cast), never twice through an
+        intermediate buffer."""
+        dfs.write_bytes("/sub.bin", b"0123456789" * 10)
+        out = dfs.read_range("/sub.bin", 7, 11)
+        assert out == b"78901234567"
+        assert isinstance(out, bytes)
+        # Accounting charges only the bytes handed back, not the whole block.
+        before = dfs.stats.bytes_read
+        dfs.read_range("/sub.bin", 0, 3)
+        assert dfs.stats.bytes_read - before == 3
+
     def test_replicas_share_one_payload_object(self, dfs):
         dfs.write_bytes("/shared.bin", b"y" * 50)
         info = dfs.namenode.get_file("/shared.bin").blocks[0]
