@@ -31,10 +31,15 @@ lint:
 	fi
 
 # Fault-injection campaign: full inversions under seeded fault schedules
-# (datanode death, replica corruption, hung tasks, driver crash) with
-# end-to-end invariants.  Exit status 0 iff every schedule is green.
+# (datanode death, replica corruption, hung tasks, driver crash, torn
+# writes) with end-to-end invariants, then the exhaustive crash-point sweep
+# (kill the driver at every DFS write/publish of a small run, resume,
+# audit) and the fsck self-check (every debris category detected and
+# rolled back).  Exit status 0 iff everything is green.
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --seed 0
+	PYTHONPATH=src $(PYTHON) -m repro chaos --sweep --seed 0
+	PYTHONPATH=src $(PYTHON) -m repro dfs fsck --self-check
 
 # Traced inversion at the acceptance configuration: renders the span tree,
 # per-job timeline, and critical path, then audits span totals against the

@@ -36,6 +36,7 @@ import pathlib
 import sys
 from typing import Sequence
 
+from ..dfs.commit import manifest_path, staging_path
 from ..inversion.config import InversionConfig
 from ..inversion.plan import total_job_count
 from .findings import (
@@ -243,6 +244,15 @@ def _self_check(verbose: bool = True) -> int:
     model = build_model(512, InversionConfig(nb=64))
     model.config = model.config.with_overrides(transpose_u=False)
     check("transpose flag flipped -> PL006", "PL006" in rules_of(model))
+
+    model = build_model(512, InversionConfig(nb=64))
+    step = model.find_step("lu:/Root[reduce]")
+    step.reads.add(staging_path("attempt-bad", "/Root/lu/L2/L.0"))
+    step.writes.add(manifest_path(model.config.root, "job:lu:/Root"))
+    check(
+        "job touching staging/manifest paths -> PL009",
+        "PL009" in rules_of(model),
+    )
 
     # 3. Purity checker on known-impure task bodies.
     from .purity import analyze_callable

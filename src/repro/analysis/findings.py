@@ -60,6 +60,9 @@ RULES: dict[str, RuleSpec] = {
         RuleSpec("PL008", Severity.WARNING,
                  "separate-factor-file count disagrees with Section 6.1's "
                  "N(d) = 2^d + (m0/2)(2^d - 1)"),
+        RuleSpec("PL009", Severity.ERROR,
+                 "step touches the /_tmp staging or _commit manifest "
+                 "namespace (private to the two-phase output commit)"),
         # -- mapper/reducer purity rules (purity) -----------------------------
         RuleSpec("PU001", Severity.INFO,
                  "source unavailable; callable not analyzable"),

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..dfs.commit import manifest_path
 from ..inversion.config import InversionConfig
 from ..inversion.layout import Layout
 from ..inversion.plan import InversionPlan, PlanNode
@@ -56,6 +57,11 @@ class PipelineModel:
     layout: Layout
     grid: tuple[int, int]
     steps: list[StepModel]
+    #: Commit manifests the driver writes under ``<root>/_commit/`` (one per
+    #: job and per master phase) when the two-phase output commit is on.
+    #: Kept out of :attr:`steps` — manifests are control metadata written by
+    #: the commit protocol, not dataflow any step may read.
+    manifest_writes: set[str] = field(default_factory=set)
 
     @property
     def n(self) -> int:
@@ -75,7 +81,7 @@ class PipelineModel:
         return len(self.job_names)
 
     def all_writes(self) -> set[str]:
-        out: set[str] = set()
+        out: set[str] = set(self.manifest_writes)
         for step in self.steps:
             out |= step.writes
         return out
@@ -328,6 +334,24 @@ def build_model(
         )
     )
 
+    # Commit manifests: one per master phase and one per job, written by
+    # the commit protocol when the two-phase output commit is on.  The
+    # phase names in ``steps`` mirror the driver's ``master_phase`` calls
+    # exactly, so deriving manifests from the steps keeps the two in sync.
+    manifest_writes: set[str] = set()
+    if cfg.output_commit:
+        manifest_steps = [
+            f"phase:{s.name}" for s in steps if s.kind == "master"
+        ] + [f"job:{name}" for name in plan.job_schedule()]
+        manifest_writes = {
+            manifest_path(cfg.root, step) for step in manifest_steps
+        }
+
     return PipelineModel(
-        config=cfg, plan=plan, layout=layout, grid=cfg.grid, steps=steps
+        config=cfg,
+        plan=plan,
+        layout=layout,
+        grid=cfg.grid,
+        steps=steps,
+        manifest_writes=manifest_writes,
     )

@@ -16,11 +16,16 @@ inverse (non-conformable block shapes):
 ``PL006``  U-transposed storage inconsistent with the Section 6.3 flag;
 ``PL007``  block-wrap grid does not factor ``m0`` (``f1 * f2 != m0``);
 ``PL008``  separate-factor-file count disagrees with Section 6.1's
-           ``N(d) = 2^d + (m0/2)(2^d - 1)``.
+           ``N(d) = 2^d + (m0/2)(2^d - 1)``;
+``PL009``  a step reads or writes the ``/_tmp`` staging namespace or the
+           ``_commit`` manifest directory — both are private to the
+           two-phase output commit; steps exchange data only through
+           published final paths.
 """
 
 from __future__ import annotations
 
+from ..dfs.commit import COMMIT_DIR, STAGING_ROOT
 from ..inversion.config import InversionConfig
 from ..inversion.plan import (
     PlanNode,
@@ -172,8 +177,9 @@ def _check_dataflow(model: PipelineModel) -> list[Finding]:
                         f"step {step.name!r} reads {path}, which no earlier "
                         "step writes",
                         location=step.name,
-                        hint="a producing step is missing from the pipeline "
-                        "or writes a different path",
+                        hint="a producing step is missing from the pipeline, "
+                        "writes a different path, or the path is staged but "
+                        "never published",
                     )
                 )
             read_paths.add(path)
@@ -299,6 +305,39 @@ def _check_intermediate_count(model: PipelineModel) -> list[Finding]:
     return []
 
 
+def _check_staging_isolation(model: PipelineModel) -> list[Finding]:
+    """PL009: no step may touch the commit protocol's private namespaces.
+
+    Staging paths (``/_tmp/...``) hold uncommitted attempt output that fsck
+    may delete at any quiescent moment; manifests (``<root>/_commit/...``)
+    are the committer's own done-markers.  A step depending on either would
+    read data that is not crash-consistent.
+    """
+    findings: list[Finding] = []
+    staging_prefix = STAGING_ROOT + "/"
+    commit_prefix = f"{model.config.root}/{COMMIT_DIR}/"
+    for step in model.steps:
+        for verb, paths in (("reads", step.reads), ("writes", step.writes)):
+            for path in sorted(paths):
+                if path == STAGING_ROOT or path.startswith(staging_prefix):
+                    kind = "staging"
+                elif path.startswith(commit_prefix):
+                    kind = "manifest"
+                else:
+                    continue
+                findings.append(
+                    Finding.of(
+                        "PL009",
+                        f"step {step.name!r} {verb} {kind} path {path}",
+                        location=step.name,
+                        hint="staging and manifests are private to the "
+                        "two-phase output commit; steps exchange data only "
+                        "through published final paths",
+                    )
+                )
+    return findings
+
+
 def lint_model(model: PipelineModel) -> list[Finding]:
     """Run every plan rule over a pipeline model."""
     findings: list[Finding] = []
@@ -308,6 +347,7 @@ def lint_model(model: PipelineModel) -> list[Finding]:
     findings.extend(_check_transpose(model))
     findings.extend(_check_grid(model))
     findings.extend(_check_intermediate_count(model))
+    findings.extend(_check_staging_isolation(model))
     return findings
 
 

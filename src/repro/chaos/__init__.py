@@ -15,21 +15,27 @@ Entry points: ``python -m repro chaos`` (CLI), :func:`run_campaign` /
 from .campaign import (
     RESIDUAL_TOL,
     CampaignReport,
+    CrashPoint,
+    CrashPointOutcome,
     InvariantResult,
     ScheduleOutcome,
+    SweepReport,
     campaign_matrix,
     run_campaign,
+    run_crash_point_sweep,
     run_schedule,
 )
 from .events import (
     ChaosContext,
     CorruptReplicas,
+    CrashAtWrite,
     CrashDriver,
     DriverCrashError,
     FaultEvent,
     KillDatanode,
     Nemesis,
     ReviveDatanode,
+    TornWrite,
 )
 from .schedule import FaultSchedule, builtin_schedules, schedule_by_name
 
@@ -38,7 +44,10 @@ __all__ = [
     "CampaignReport",
     "ChaosContext",
     "CorruptReplicas",
+    "CrashAtWrite",
     "CrashDriver",
+    "CrashPoint",
+    "CrashPointOutcome",
     "DriverCrashError",
     "FaultEvent",
     "FaultSchedule",
@@ -47,9 +56,12 @@ __all__ = [
     "Nemesis",
     "ReviveDatanode",
     "ScheduleOutcome",
+    "SweepReport",
+    "TornWrite",
     "builtin_schedules",
     "campaign_matrix",
     "run_campaign",
+    "run_crash_point_sweep",
     "run_schedule",
     "schedule_by_name",
 ]

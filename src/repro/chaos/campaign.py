@@ -37,6 +37,7 @@ import numpy as np
 
 from ..analysis import build_model
 from ..dfs.filesystem import DFS
+from ..dfs.fsck import fsck
 from ..inversion.config import InversionConfig
 from ..inversion.driver import InversionResult, MatrixInverter
 from ..mapreduce.master import JobFailedError
@@ -325,12 +326,247 @@ def run_campaign(
     return report
 
 
+# -- exhaustive crash-point sweep --------------------------------------------
+#
+# The schedule battery crashes the driver at a handful of hand-picked spots.
+# The sweep is the systematic version: enumerate *every* DFS create and
+# publish a small clean run performs, then re-run the whole inversion once
+# per point with a one-shot crash armed at exactly that operation, resume,
+# and require the same end state every time.  If the two-phase commit has a
+# window — a file visible before its seal, a step marked done before its
+# outputs — some point in this sweep lands inside it.
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One write/publish operation observed in the clean baseline run."""
+
+    index: int
+    op: str
+    path: str
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "op": self.op, "path": self.path}
+
+
+@dataclass
+class CrashPointOutcome:
+    """Verdict for one crash point: crash, resume, and every check after."""
+
+    point: CrashPoint
+    ok: bool
+    crashed: bool
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            **self.point.to_dict(),
+            "ok": self.ok,
+            "crashed": self.crashed,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Outcome of the full crash-point sweep under one seed."""
+
+    seed: int
+    n: int
+    nb: int
+    m0: int
+    outcomes: list[CrashPointOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
+
+    @property
+    def num_points(self) -> int:
+        return len(self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n": self.n,
+            "nb": self.nb,
+            "m0": self.m0,
+            "ok": self.ok,
+            "num_points": self.num_points,
+            "points": [o.to_dict() for o in self.outcomes],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"crash-point sweep: n={self.n} nb={self.nb} m0={self.m0} "
+            f"seed={self.seed} — {self.num_points} points"
+        ]
+        for o in self.outcomes:
+            mark = "ok" if o.ok else "FAIL"
+            lines.append(
+                f"  [{mark}] #{o.point.index:3d} {o.point.op:7s} "
+                f"{o.point.path}: {o.detail}"
+            )
+        lines.append(f"sweep {'PASSED' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def _sweep_cluster(
+    seed: int, m0: int, num_datanodes: int, replication: int
+) -> tuple[DFS, MapReduceRuntime]:
+    dfs = DFS(num_datanodes=num_datanodes, replication=replication, seed=seed)
+    runtime = MapReduceRuntime(
+        dfs=dfs, config=RuntimeConfig(num_workers=m0, executor="serial")
+    )
+    return dfs, runtime
+
+
+def _run_crash_point(
+    point: CrashPoint,
+    a: np.ndarray,
+    config: InversionConfig,
+    *,
+    seed: int,
+    n: int,
+    m0: int,
+    num_datanodes: int,
+    replication: int,
+) -> CrashPointOutcome:
+    """Fresh cluster, crash armed at ``point``, invert + resume, full audit."""
+    dfs, runtime = _sweep_cluster(seed, m0, num_datanodes, replication)
+    remaining = [point.index]
+
+    def crash_hook(op: str, path: str) -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            return
+        # One-shot: the resumed driver repeats this exact write and must
+        # not die again.
+        dfs.fault_hooks.remove(crash_hook)
+        raise DriverCrashError(
+            f"injected crash at op #{point.index} ({op} {path})"
+        )
+
+    dfs.fault_hooks.append(crash_hook)
+    inverter = MatrixInverter(config=config, runtime=runtime)
+    crashed = False
+    try:
+        try:
+            result = inverter.invert(a)
+        except DriverCrashError:
+            crashed = True
+            result = inverter.invert(a, resume=True)
+    except Exception as exc:  # noqa: BLE001 - the sweep reports, never raises
+        return CrashPointOutcome(
+            point=point,
+            ok=False,
+            crashed=crashed,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    finally:
+        runtime.shutdown()
+
+    checks = [
+        _check_correctness(a, result),
+        _check_job_accounting(runtime, result, crashed),
+        _check_no_orphans(dfs, config, n),
+    ]
+    audit = fsck(dfs, root=config.root, repair=False)
+    checks.append(
+        InvariantResult(
+            name="fsck-clean",
+            ok=audit.clean,
+            detail=(
+                f"{len(audit.issues)} issue(s)"
+                if not audit.clean
+                else f"{audit.files_checked} files clean"
+            ),
+        )
+    )
+    failed = [c for c in checks if not c.ok]
+    if not crashed:
+        # Every enumerated point comes from the deterministic baseline run,
+        # so an armed crash that never fires means the replay diverged.
+        return CrashPointOutcome(
+            point=point, ok=False, crashed=False, detail="armed crash never fired"
+        )
+    if failed:
+        detail = "; ".join(f"{c.name}: {c.detail}" for c in failed)
+        return CrashPointOutcome(point=point, ok=False, crashed=True, detail=detail)
+    return CrashPointOutcome(
+        point=point,
+        ok=True,
+        crashed=True,
+        detail="crashed, resumed, all invariants hold",
+    )
+
+
+def run_crash_point_sweep(
+    *,
+    seed: int = 0,
+    n: int = 8,
+    nb: int = 2,
+    m0: int = 2,
+    num_datanodes: int = 3,
+    replication: int = 2,
+) -> SweepReport:
+    """Crash the driver at every write/publish point of a small run.
+
+    Phase 1 runs a clean inversion with a recording hook to enumerate every
+    DFS ``create`` and ``publish`` the workflow performs.  Phase 2 replays
+    the inversion once per enumerated operation on a fresh cluster, with a
+    one-shot :class:`DriverCrashError` armed at exactly that operation,
+    resumes, and checks correctness, ``2^d + 1`` job accounting across
+    crash + resume, the static-model no-orphans invariant, and a clean
+    read-only :func:`~repro.dfs.fsck.fsck` audit.
+    """
+    a = campaign_matrix(n, seed)
+    config = InversionConfig(nb=nb, m0=m0)
+
+    points: list[CrashPoint] = []
+    dfs, runtime = _sweep_cluster(seed, m0, num_datanodes, replication)
+
+    def record_hook(op: str, path: str) -> None:
+        points.append(CrashPoint(index=len(points), op=op, path=path))
+
+    dfs.fault_hooks.append(record_hook)
+    try:
+        baseline = MatrixInverter(config=config, runtime=runtime).invert(a)
+    finally:
+        runtime.shutdown()
+    if baseline.residual(a) > RESIDUAL_TOL:
+        raise RuntimeError(
+            "crash-point sweep baseline run is not numerically clean; "
+            "fix the geometry before sweeping"
+        )
+
+    report = SweepReport(seed=seed, n=n, nb=nb, m0=m0)
+    for point in points:
+        report.outcomes.append(
+            _run_crash_point(
+                point,
+                a,
+                config,
+                seed=seed,
+                n=n,
+                m0=m0,
+                num_datanodes=num_datanodes,
+                replication=replication,
+            )
+        )
+    return report
+
+
 __all__ = [
     "RESIDUAL_TOL",
     "CampaignReport",
+    "CrashPoint",
+    "CrashPointOutcome",
     "InvariantResult",
     "ScheduleOutcome",
+    "SweepReport",
     "campaign_matrix",
     "run_campaign",
+    "run_crash_point_sweep",
     "run_schedule",
 ]

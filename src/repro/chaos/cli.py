@@ -6,9 +6,13 @@ Examples::
     python -m repro chaos --seed 7 --json      # machine-readable report
     python -m repro chaos --schedule combined  # one scenario
     python -m repro chaos --list               # what's in the battery
+    python -m repro chaos --sweep              # exhaustive crash-point sweep
 
 Exit status is 0 iff every schedule completed with every invariant green,
-so the command doubles as a CI gate (``make chaos``).
+so the command doubles as a CI gate (``make chaos``).  ``--sweep`` replaces
+the battery with the crash-point sweep: every DFS write/publish of a small
+clean run is enumerated, the driver is killed at each one in turn, and each
+resumed run must converge with clean accounting and a clean fsck audit.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import argparse
 import json
 import sys
 
-from .campaign import CampaignReport, run_campaign
+from .campaign import CampaignReport, run_campaign, run_crash_point_sweep
 from .schedule import builtin_schedules, schedule_by_name
 
 _GREEN = "ok"
@@ -82,12 +86,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the exhaustive crash-point sweep (crash at every DFS "
+        "write/publish of a small run, resume, audit) instead of the "
+        "schedule battery; uses its own small geometry, ignores --n/--nb/--m0",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for schedule in builtin_schedules(args.seed):
             print(f"{schedule.name:20s} {schedule.description}")
         return 0
+
+    if args.sweep:
+        sweep = run_crash_point_sweep(seed=args.seed)
+        if args.json:
+            print(json.dumps(sweep.to_dict(), indent=2))
+        else:
+            print(sweep.format())
+        return 0 if sweep.ok else 1
 
     schedules = None
     if args.schedule:

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..dfs.blocks import BlockInfo
+from ..dfs.commit import staging_path
 from ..dfs.filesystem import DFS
 from ..mapreduce.job import JobConf
 
@@ -33,6 +34,11 @@ class DriverCrashError(RuntimeError):
     intermediate lives in the DFS, so a new driver can pick up where the
     dead one stopped.
     """
+
+    #: A crash is not a task failure: the engine must never retry it.  The
+    #: master re-raises fatal outcomes immediately, skipping loser-attempt
+    #: cleanup — exactly what a real process death would leave behind.
+    fatal = True
 
 
 @dataclass
@@ -120,6 +126,69 @@ class CrashDriver(FaultEvent):
         raise DriverCrashError(f"injected driver crash before job {self.at_job}")
 
 
+@dataclass(frozen=True)
+class CrashAtWrite(FaultEvent):
+    """Kill the driver at an exact DFS write or publish point.
+
+    Firing arms a one-shot hook on the DFS's ``fault_hooks``: the hook
+    counts subsequent matching operations and raises
+    :class:`DriverCrashError` at the ``nth`` one (0-based), disarming
+    itself first so the resumed driver's identical write goes through.
+    Unlike :class:`CrashDriver` — which dies *between* jobs, when nothing
+    is half-written — this lands the crash in the middle of a step's
+    output, which is precisely what the two-phase commit must survive.
+    """
+
+    #: Crash on the nth matching DFS operation after arming (0-based).
+    nth: int = 0
+    #: Substring the operation's path must contain (empty = any path).
+    match: str = ""
+    #: Restrict to ``"create"`` or ``"publish"`` (empty = either).
+    op: str = ""
+
+    def apply(self, ctx: ChaosContext) -> str:
+        remaining = [self.nth]
+        event = self
+
+        def hook(op: str, path: str) -> None:
+            if event.op and op != event.op:
+                return
+            if event.match and event.match not in path:
+                return
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                return
+            ctx.dfs.fault_hooks.remove(hook)
+            raise DriverCrashError(f"injected driver crash at {op} {path}")
+
+        ctx.dfs.fault_hooks.append(hook)
+        kind = self.op or "create/publish"
+        target = f" touching {self.match!r}" if self.match else ""
+        return f"armed one-shot crash at {kind} #{self.nth}{target}"
+
+
+@dataclass(frozen=True)
+class TornWrite(FaultEvent):
+    """Plant the debris a writer killed mid-write would leave behind.
+
+    Two pending (unsealed) files appear: a partial copy in the ``/_tmp``
+    staging namespace and a half-length torso at the final ``path`` itself.
+    Neither is visible to readers; both must be detected and rolled back by
+    ``fsck`` on resume.  The bytes go through the staging ledger
+    (``stage_bytes``) so the staged/published/discarded conservation term
+    still balances after the rollback.
+    """
+
+    path: str = "/Root/torn.bin"
+    nbytes: int = 256
+
+    def apply(self, ctx: ChaosContext) -> str:
+        data = bytes(ctx.rng.randrange(256) for _ in range(self.nbytes))
+        ctx.dfs.stage_bytes(staging_path("torn-writer", self.path), data)
+        ctx.dfs.stage_bytes(self.path, data[: self.nbytes // 2])
+        return f"planted torn-write debris at {self.path}"
+
+
 class Nemesis:
     """``before_job`` hook that fires schedule events at their job index.
 
@@ -151,10 +220,12 @@ class Nemesis:
 __all__ = [
     "ChaosContext",
     "CorruptReplicas",
+    "CrashAtWrite",
     "CrashDriver",
     "DriverCrashError",
     "FaultEvent",
     "KillDatanode",
     "Nemesis",
     "ReviveDatanode",
+    "TornWrite",
 ]

@@ -23,10 +23,12 @@ from ..mapreduce.faults import (
 from ..mapreduce.retry import RetryPolicy
 from .events import (
     CorruptReplicas,
+    CrashAtWrite,
     CrashDriver,
     FaultEvent,
     KillDatanode,
     ReviveDatanode,
+    TornWrite,
 )
 
 #: Injected hangs sleep this long; the attempt deadline is well below it so a
@@ -70,7 +72,7 @@ class FaultSchedule:
     def crashes_driver(self) -> bool:
         """Whether the scenario includes an injected driver crash (the
         campaign then resumes the run and checks the combined outcome)."""
-        return any(isinstance(e, CrashDriver) for e in self.events)
+        return any(isinstance(e, (CrashDriver, CrashAtWrite)) for e in self.events)
 
     def make_task_faults(self, seed: int) -> FaultPolicy | None:
         return self.task_faults(seed) if self.task_faults is not None else None
@@ -158,6 +160,19 @@ def builtin_schedules(seed: int = 0) -> tuple[FaultSchedule, ...]:
                 DelayAttempt(
                     seconds=HANG_SECONDS, job_substring="lu:", attempts_below=1
                 ),
+            ),
+        ),
+        FaultSchedule(
+            name="torn-write",
+            description=(
+                "a writer dies mid-write leaving torn pending files, then the "
+                "driver itself crashes inside a job's output; resume-time fsck "
+                "rolls the debris back and the commit protocol re-runs only "
+                "the uncommitted steps"
+            ),
+            events=(
+                TornWrite(at_job=1, path="/Root/OUT/A1/OUT/l.bin"),
+                CrashAtWrite(at_job=2, nth=2, op="create"),
             ),
         ),
     )

@@ -30,6 +30,7 @@ SUBSYSTEMS: tuple[str, ...] = (
     "repro.inversion.cli",
     "repro.analysis.cli",
     "repro.chaos.cli",
+    "repro.dfs.cli",
     "repro.experiments.cli",
     "repro.telemetry.cli",
 )

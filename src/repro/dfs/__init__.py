@@ -8,7 +8,16 @@ text/binary codecs of Table 3.
 
 from .blocks import BlockCorruptionError, BlockMissingError, BlockStore, DataNode
 from .cache import DEFAULT_BLOCK_CACHE_BYTES, BlockCache
+from .commit import (
+    STAGING_ROOT,
+    CommitLog,
+    CommitScope,
+    manifest_path,
+    staging_dir,
+    staging_path,
+)
 from .filesystem import DFS, DFSWriter
+from .fsck import FsckIssue, FsckReport, fsck
 from .health import HealthMonitor, HealthReport, RepairReport
 from .iostats import IOSnapshot, IOStats
 from .namenode import (
@@ -33,9 +42,13 @@ __all__ = [
     "BlockStore",
     "BlockCorruptionError",
     "BlockMissingError",
+    "CommitLog",
+    "CommitScope",
     "DirectoryNotEmpty",
     "FileAlreadyExists",
     "FileNotFound",
+    "FsckIssue",
+    "FsckReport",
     "HealthMonitor",
     "HealthReport",
     "RepairReport",
@@ -44,5 +57,10 @@ __all__ = [
     "IsADirectory",
     "NameNode",
     "NotADirectory",
+    "STAGING_ROOT",
     "formats",
+    "fsck",
+    "manifest_path",
+    "staging_dir",
+    "staging_path",
 ]

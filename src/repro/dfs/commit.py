@@ -1,0 +1,134 @@
+"""Two-phase output commit: staging paths, commit scopes, manifests.
+
+The protocol mirrors Hadoop's ``OutputCommitter``: every writer (a task
+attempt or a master phase) stages its files under a private directory in
+the ``/_tmp`` namespace as *pending* (invisible) files, and the committer
+publishes the winning attempt's files to their final paths with one atomic
+multi-file rename (:meth:`repro.dfs.filesystem.DFS.publish`).  A crash at
+any point leaves either nothing visible or everything visible — never a
+torn prefix.
+
+Completed steps are recorded in a :class:`CommitLog`: a JSON manifest per
+step, written *last*, listing exactly the files the step published.  Resume
+consults manifests instead of probing for file existence, so a crash
+between two files of a multi-file write can never be mistaken for a
+completed step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .filesystem import DFS
+
+#: Root of the staging namespace.  Everything under it is uncommitted by
+#: definition; fsck may delete the whole subtree at any quiescent moment.
+STAGING_ROOT = "/_tmp"
+
+#: Name of the manifest directory kept under the pipeline root.
+COMMIT_DIR = "_commit"
+
+
+def staging_dir(tag: str) -> str:
+    """The private staging directory for one writer (attempt or phase)."""
+    return f"{STAGING_ROOT}/{tag}"
+
+
+def staging_path(tag: str, final_path: str) -> str:
+    """Where ``final_path`` is staged while ``tag``'s writer is running."""
+    return f"{STAGING_ROOT}/{tag}{final_path}"
+
+
+def _quote(step: str) -> str:
+    """Flatten a step name into a single manifest-file component."""
+    return step.replace("%", "%25").replace("/", "%2F")
+
+
+def manifest_path(root: str, step: str) -> str:
+    return f"{root}/{COMMIT_DIR}/{_quote(step)}.json"
+
+
+class CommitScope:
+    """One writer's staged output: stage files, then publish or abort.
+
+    The scope never touches final paths until :meth:`publish`, which moves
+    every staged file in one atomic namenode operation.  :meth:`abort`
+    (or a crashed writer followed by fsck) deletes the staging directory
+    and leaves the final namespace untouched.
+    """
+
+    def __init__(self, dfs: "DFS", tag: str) -> None:
+        self.dfs = dfs
+        self.tag = tag
+        #: ``(staged_path, final_path)`` in stage order.
+        self.staged: list[tuple[str, str]] = []
+
+    def stage_bytes(self, final_path: str, data: bytes) -> None:
+        src = staging_path(self.tag, final_path)
+        self.dfs.stage_bytes(src, data)
+        self.staged.append((src, final_path))
+
+    def publish(self) -> list[str]:
+        """Atomically move every staged file to its final path."""
+        self.dfs.publish(list(self.staged))
+        published = [dst for _, dst in self.staged]
+        self.staged.clear()
+        self.dfs.discard_staging(staging_dir(self.tag))
+        return published
+
+    def abort(self) -> None:
+        self.staged.clear()
+        self.dfs.discard_staging(staging_dir(self.tag))
+
+
+class CommitLog:
+    """Durable step-done markers: one JSON manifest per committed step."""
+
+    def __init__(self, dfs: "DFS", root: str) -> None:
+        self.dfs = dfs
+        self.root = root
+
+    def path(self, step: str) -> str:
+        return manifest_path(self.root, step)
+
+    def record(self, step: str, published: list[str]) -> None:
+        """Write the manifest for ``step`` — the step's commit point.
+
+        The manifest itself goes through stage + publish, so a crash while
+        writing it leaves no manifest at all and the step simply re-runs.
+        """
+        payload = json.dumps(
+            {"step": step, "published": sorted(published)}, indent=0
+        ).encode("utf-8")
+        src = staging_path(f"manifest-{_quote(step)}", self.path(step))
+        self.dfs.stage_bytes(src, payload)
+        self.dfs.publish([(src, self.path(step))])
+        self.dfs.discard_staging(staging_dir(f"manifest-{_quote(step)}"))
+
+    def committed(self, step: str) -> bool:
+        return self.dfs.exists(self.path(step))
+
+    def published(self, step: str) -> list[str]:
+        """The files ``step``'s manifest lists (empty if not committed)."""
+        if not self.committed(step):
+            return []
+        payload = json.loads(self.dfs.read_bytes(self.path(step)))
+        return list(payload.get("published", []))
+
+    def clear(self) -> None:
+        """Drop every manifest (a from-scratch run must not trust them)."""
+        if self.dfs.exists(f"{self.root}/{COMMIT_DIR}"):
+            self.dfs.delete(f"{self.root}/{COMMIT_DIR}", recursive=True)
+
+
+__all__ = [
+    "COMMIT_DIR",
+    "STAGING_ROOT",
+    "CommitLog",
+    "CommitScope",
+    "manifest_path",
+    "staging_dir",
+    "staging_path",
+]

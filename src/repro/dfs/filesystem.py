@@ -123,6 +123,11 @@ class DFS:
         #: consulted by matrix readers (``TaskContext.read_matrix`` and the
         #: master's reader).  ``None`` keeps the paper-faithful read path.
         self.cache: "BlockCache | None" = None
+        #: Fault-injection hooks fired as ``hook(op, path)`` before every
+        #: file creation (``op="create"``) and atomic publish
+        #: (``op="publish"``).  Used by the chaos harness to crash the
+        #: driver at exact write/publish points; empty in production.
+        self.fault_hooks: list = []
 
     # -- decoded-block cache ---------------------------------------------------
 
@@ -140,22 +145,45 @@ class DFS:
 
     # -- writes --------------------------------------------------------------
 
-    def create(self, path: str, *, overwrite: bool = True) -> DFSWriter:
-        """Open ``path`` for writing, creating parent directories."""
-        entry = self.namenode.create_file(normalize(path), overwrite=overwrite)
+    def create(
+        self, path: str, *, overwrite: bool = True, pending: bool = False
+    ) -> DFSWriter:
+        """Open ``path`` for writing, creating parent directories.
+
+        ``pending=True`` creates the file unsealed: invisible to readers
+        until :meth:`publish` (or ``namenode.seal``) makes it visible —
+        the first phase of the two-phase output commit.
+        """
+        path = normalize(path)
+        if self.fault_hooks:
+            for hook in list(self.fault_hooks):
+                hook("create", path)
+        entry = self.namenode.create_file(path, overwrite=overwrite, pending=pending)
         self.stats.record_create()
         return DFSWriter(self, entry)
 
-    def write_bytes(self, path: str, data: bytes, *, overwrite: bool = True) -> None:
+    def write_bytes(
+        self,
+        path: str,
+        data: bytes,
+        *,
+        overwrite: bool = True,
+        pending: bool = False,
+    ) -> None:
         tracer = current_tracer()
         if not tracer.enabled:
-            with self.create(path, overwrite=overwrite) as w:
+            with self.create(path, overwrite=overwrite, pending=pending) as w:
                 w.write(data)
             return
         with tracer.span(path, SpanKind.DFS_WRITE) as span:
-            with self.create(path, overwrite=overwrite) as w:
+            with self.create(path, overwrite=overwrite, pending=pending) as w:
                 w.write(data)
             span.set(bytes=len(data))
+
+    def stage_bytes(self, path: str, data: bytes) -> None:
+        """Write ``path`` as a pending (invisible) staging file."""
+        self.write_bytes(path, data, pending=True)
+        self.stats.record_stage(len(data))
 
     def write_text(self, path: str, text: str, *, overwrite: bool = True) -> None:
         self.write_bytes(path, text.encode("utf-8"), overwrite=overwrite)
@@ -257,22 +285,89 @@ class DFS:
 
     def delete(self, path: str, *, recursive: bool = False) -> None:
         removed = self.namenode.delete(normalize(path), recursive=recursive)
-        for entry in removed:
-            for info in entry.blocks:
-                self.blocks.delete_block(info)
-        self.stats.record_delete(len(removed))
+        self._gc_entries(removed)
         if self.cache is not None:
             # Hygiene only: the deleted entries' (path, generation) keys can
             # never be requested again, but dropping them eagerly frees
             # capacity instead of waiting for LRU eviction.
             self.cache.drop_path(path)
 
-    def rename(self, src: str, dst: str) -> None:
-        self.namenode.rename(normalize(src), normalize(dst))
+    def rename(self, src: str, dst: str, *, overwrite: bool = False) -> None:
+        displaced = self.namenode.rename(
+            normalize(src), normalize(dst), overwrite=overwrite
+        )
+        self._gc_entries(displaced)
         if self.cache is not None:
             # The moved entries keep their (globally unique) generations, so
-            # the cached values under the old path are unreachable — drop them.
+            # the cached values under the old path are unreachable — drop
+            # them; a replaced destination's cached values are stale too.
             self.cache.drop_path(src)
+            self.cache.drop_path(dst)
+
+    # -- two-phase commit -----------------------------------------------------
+
+    def publish(self, pairs: list[tuple[str, str]]) -> None:
+        """Atomically move-and-seal staged files onto their final paths.
+
+        One namenode operation covers every ``(staged, final)`` pair:
+        readers observe none or all of the published files, never a torn
+        prefix.  Existing destinations (debris from a crashed earlier
+        publish) are replaced and their blocks collected.
+        """
+        if not pairs:
+            return
+        if self.fault_hooks:
+            for hook in list(self.fault_hooks):
+                hook("publish", normalize(pairs[0][1]))
+        normalized = [(normalize(s), normalize(d)) for s, d in pairs]
+        nbytes = sum(
+            self.namenode.get_file(src, include_pending=True).length
+            for src, _ in normalized
+        )
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(normalized[0][1], SpanKind.COMMIT) as span:
+                displaced = self.namenode.publish(normalized)
+                span.set(files=len(normalized), bytes=nbytes)
+        else:
+            displaced = self.namenode.publish(normalized)
+        self._gc_entries(displaced)
+        self.stats.record_publish(nbytes, files=len(normalized))
+        if self.cache is not None:
+            for src, dst in normalized:
+                self.cache.drop_path(src)
+                self.cache.drop_path(dst)
+
+    def discard_staging(self, path: str) -> None:
+        """Delete an uncommitted staging subtree (aborted or losing attempt);
+        a missing path is fine — discard is idempotent."""
+        path = normalize(path)
+        if not self.namenode.exists(path, include_pending=True):
+            return
+        removed = self.namenode.delete(path, recursive=True)
+        self._gc_entries(removed)
+        if self.cache is not None:
+            self.cache.drop_path(path)
+
+    def _gc_entries(self, entries: list[FileEntry]) -> None:
+        """Collect the blocks of removed or displaced file entries.
+
+        Pending entries are debited from the staging ledger: bytes that
+        were staged but never published count as discarded, keeping the
+        ``staged == published + discarded`` conservation term exact.
+        """
+        pending_bytes = 0
+        pending_files = 0
+        for entry in entries:
+            for info in entry.blocks:
+                self.blocks.delete_block(info)
+            if not entry.sealed:
+                pending_bytes += entry.length
+                pending_files += 1
+        if entries:
+            self.stats.record_delete(len(entries))
+        if pending_files:
+            self.stats.record_discard(pending_bytes, files=pending_files)
 
     # -- replication maintenance ------------------------------------------------
 

@@ -1,0 +1,165 @@
+"""Crash-recovery consistency check for the two-phase commit protocol.
+
+After a driver crash the namespace can hold three kinds of debris, all of
+them invisible to (or ignorable by) a correct resume but worth deleting so
+the commit ledger and the final tree stay clean:
+
+``orphaned-staging``
+    Any file under ``/_tmp`` — by definition uncommitted output whose
+    writer died before publish (or a zombie attempt's re-created files).
+``unsealed-file``
+    A pending file *outside* the staging namespace: a torn direct write.
+    Invisible to readers, superseded by the step's re-run.
+``invalid-manifest``
+    A commit manifest that is unparseable or lists a published path that
+    does not exist as a sealed file.  The manifest is deleted so resume
+    re-runs the step instead of trusting a broken commit record.
+
+:func:`fsck` detects all three; with ``repair=True`` (the default) it also
+rolls them back.  ``invert(resume=True)`` runs a repairing fsck before
+trusting any on-DFS state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .commit import COMMIT_DIR, STAGING_ROOT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .filesystem import DFS
+
+
+@dataclass
+class FsckIssue:
+    """One inconsistency: what it is, where, and whether it was rolled back."""
+
+    kind: str
+    path: str
+    detail: str
+    repaired: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "detail": self.detail,
+            "repaired": self.repaired,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck pass found (and possibly repaired)."""
+
+    root: str
+    repair: bool
+    issues: list[FsckIssue] = field(default_factory=list)
+    files_checked: int = 0
+    manifests_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "repair": self.repair,
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "manifests_checked": self.manifests_checked,
+            "issues": [i.to_dict() for i in self.issues],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"fsck {self.root}: {self.files_checked} file(s), "
+            f"{self.manifests_checked} manifest(s) checked"
+        ]
+        if self.clean:
+            lines.append("  clean — no orphaned staging, unsealed files, "
+                         "or invalid manifests")
+        for issue in self.issues:
+            action = "repaired" if issue.repaired else "found"
+            lines.append(
+                f"  [{action}] {issue.kind}: {issue.path} — {issue.detail}"
+            )
+        return "\n".join(lines)
+
+
+def fsck(dfs: "DFS", *, root: str = "/Root", repair: bool = True) -> FsckReport:
+    """Check (and with ``repair=True`` roll back) commit-protocol debris."""
+    report = FsckReport(root=root, repair=repair)
+    nn = dfs.namenode
+
+    # 1. Orphaned staging: everything under /_tmp is uncommitted by
+    #    definition — one recursive discard rolls all of it back.
+    if nn.exists(STAGING_ROOT, include_pending=True):
+        for path in nn.walk_files(STAGING_ROOT, include_pending=True):
+            report.issues.append(
+                FsckIssue(
+                    kind="orphaned-staging",
+                    path=path,
+                    detail="uncommitted staging output (writer never published)",
+                    repaired=repair,
+                )
+            )
+        if repair:
+            dfs.discard_staging(STAGING_ROOT)
+
+    # 2. Unsealed files outside staging: torn direct writes.
+    for path in nn.pending_files("/"):
+        if path.startswith(STAGING_ROOT + "/"):
+            continue  # already reported above
+        report.issues.append(
+            FsckIssue(
+                kind="unsealed-file",
+                path=path,
+                detail="pending file outside staging (torn direct write)",
+                repaired=repair,
+            )
+        )
+        if repair:
+            dfs.discard_staging(path)
+
+    # 3. Manifests whose published files are missing or unsealed.
+    report.files_checked = len(nn.walk_files("/"))
+    commit_dir = f"{root}/{COMMIT_DIR}"
+    if dfs.exists(commit_dir):
+        for manifest in dfs.list_files(commit_dir):
+            report.manifests_checked += 1
+            problem = _manifest_problem(dfs, manifest)
+            if problem is None:
+                continue
+            report.issues.append(
+                FsckIssue(
+                    kind="invalid-manifest",
+                    path=manifest,
+                    detail=problem,
+                    repaired=repair,
+                )
+            )
+            if repair:
+                dfs.delete(manifest)
+    return report
+
+
+def _manifest_problem(dfs: "DFS", manifest: str) -> str | None:
+    """Why ``manifest`` cannot be trusted, or ``None`` if it is sound."""
+    try:
+        payload = json.loads(dfs.read_bytes(manifest))
+        published = payload["published"]
+        if not isinstance(published, list):
+            raise TypeError("'published' is not a list")
+    except Exception as exc:  # noqa: BLE001 - any parse failure invalidates
+        return f"unparseable manifest ({type(exc).__name__}: {exc})"
+    for path in published:
+        if not dfs.exists(path):
+            return f"lists missing or unsealed file {path}"
+    return None
+
+
+__all__ = ["FsckIssue", "FsckReport", "fsck"]

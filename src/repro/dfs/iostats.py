@@ -38,6 +38,11 @@ class IOSnapshot:
     cache_bytes_requested: int = 0
     cache_bytes_served: int = 0
     cache_bytes_missed: int = 0
+    bytes_staged: int = 0
+    bytes_published: int = 0
+    bytes_discarded: int = 0
+    files_published: int = 0
+    files_discarded: int = 0
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
@@ -60,6 +65,11 @@ class IOSnapshot:
             ),
             cache_bytes_served=self.cache_bytes_served - other.cache_bytes_served,
             cache_bytes_missed=self.cache_bytes_missed - other.cache_bytes_missed,
+            bytes_staged=self.bytes_staged - other.bytes_staged,
+            bytes_published=self.bytes_published - other.bytes_published,
+            bytes_discarded=self.bytes_discarded - other.bytes_discarded,
+            files_published=self.files_published - other.files_published,
+            files_discarded=self.files_discarded - other.files_discarded,
         )
 
 
@@ -82,6 +92,11 @@ class IOStats:
     cache_bytes_requested: int = 0  # guarded-by: _lock
     cache_bytes_served: int = 0  # guarded-by: _lock
     cache_bytes_missed: int = 0  # guarded-by: _lock
+    bytes_staged: int = 0  # guarded-by: _lock
+    bytes_published: int = 0  # guarded-by: _lock
+    bytes_discarded: int = 0  # guarded-by: _lock
+    files_published: int = 0  # guarded-by: _lock
+    files_discarded: int = 0  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_read(self, nbytes: int, *, local: bool = False) -> None:
@@ -136,6 +151,28 @@ class IOStats:
             self.cache_misses += 1
             self.cache_bytes_missed += nbytes
 
+    def record_stage(self, nbytes: int) -> None:
+        """Logical bytes written into the staging namespace as pending files
+        (their physical write is accounted by :meth:`record_write` as usual;
+        this ledger tracks commit-protocol conservation:
+        ``staged == published + discarded`` once the namespace is quiescent)."""
+        with self._lock:
+            self.bytes_staged += nbytes
+
+    def record_publish(self, nbytes: int, *, files: int) -> None:
+        """Staged bytes atomically renamed to their final paths."""
+        with self._lock:
+            self.bytes_published += nbytes
+            self.files_published += files
+
+    def record_discard(self, nbytes: int, *, files: int) -> None:
+        """Staged bytes deleted without publication (losing or aborted
+        attempts, fsck rollback) — debited from the staging ledger so the
+        reconciliation term stays exact."""
+        with self._lock:
+            self.bytes_discarded += nbytes
+            self.files_discarded += files
+
     def record_create(self) -> None:
         with self._lock:
             self.files_created += 1
@@ -166,6 +203,11 @@ class IOStats:
                 cache_bytes_requested=self.cache_bytes_requested,
                 cache_bytes_served=self.cache_bytes_served,
                 cache_bytes_missed=self.cache_bytes_missed,
+                bytes_staged=self.bytes_staged,
+                bytes_published=self.bytes_published,
+                bytes_discarded=self.bytes_discarded,
+                files_published=self.files_published,
+                files_discarded=self.files_discarded,
             )
 
     def reset(self) -> None:
@@ -185,3 +227,8 @@ class IOStats:
             self.cache_bytes_requested = 0
             self.cache_bytes_served = 0
             self.cache_bytes_missed = 0
+            self.bytes_staged = 0
+            self.bytes_published = 0
+            self.bytes_discarded = 0
+            self.files_published = 0
+            self.files_discarded = 0

@@ -62,6 +62,10 @@ class FileEntry:
     name: str
     blocks: list[BlockInfo] = field(default_factory=list)
     generation: int = 0
+    #: Two-phase commit lifecycle: files created with ``pending=True`` stay
+    #: invisible to ``exists``/``get_file``/``walk_files`` until sealed by
+    #: :meth:`NameNode.seal` or an atomic :meth:`NameNode.publish` rename.
+    sealed: bool = True
 
     @property
     def length(self) -> int:
@@ -123,19 +127,37 @@ class NameNode:
 
     # -- operations ----------------------------------------------------------
 
-    def create_file(self, path: str, *, overwrite: bool = False) -> FileEntry:
+    def create_file(
+        self, path: str, *, overwrite: bool = False, pending: bool = False
+    ) -> FileEntry:
         with self._lock:
             parent, name = self._parent_dir(path, create=True)
             existing = parent.children.get(name)
             if existing is not None:
                 if isinstance(existing, DirEntry):
                     raise IsADirectory(path)
-                if not overwrite:
+                # An unsealed file never blocks creation: it is invisible
+                # debris from an uncommitted writer, and the new entry's
+                # fresh generation supersedes it.
+                if not overwrite and existing.sealed:
                     raise FileAlreadyExists(path)
-            entry = FileEntry(name=name, generation=self._next_generation)
+            entry = FileEntry(
+                name=name, generation=self._next_generation, sealed=not pending
+            )
             self._next_generation += 1
             parent.children[name] = entry
             return entry
+
+    def seal(self, path: str) -> FileEntry:
+        """Make a pending file visible (the second phase of a direct write)."""
+        with self._lock:
+            node = self._walk(path)
+            if node is None:
+                raise FileNotFound(path)
+            if isinstance(node, DirEntry):
+                raise IsADirectory(path)
+            node.sealed = True
+            return node
 
     def mkdirs(self, path: str) -> DirEntry:
         with self._lock:
@@ -150,26 +172,34 @@ class NameNode:
                 node = child
             return node
 
-    def get_file(self, path: str) -> FileEntry:
+    def get_file(self, path: str, *, include_pending: bool = False) -> FileEntry:
         with self._lock:
             node = self._walk(path)
             if node is None:
                 raise FileNotFound(path)
             if isinstance(node, DirEntry):
                 raise IsADirectory(path)
+            if not node.sealed and not include_pending:
+                raise FileNotFound(path)
             return node
 
-    def exists(self, path: str) -> bool:
+    def exists(self, path: str, *, include_pending: bool = False) -> bool:
         with self._lock:
-            return self._walk(path) is not None
+            node = self._walk(path)
+            if isinstance(node, FileEntry) and not node.sealed:
+                return include_pending
+            return node is not None
 
     def is_dir(self, path: str) -> bool:
         with self._lock:
             return isinstance(self._walk(path), DirEntry)
 
-    def is_file(self, path: str) -> bool:
+    def is_file(self, path: str, *, include_pending: bool = False) -> bool:
         with self._lock:
-            return isinstance(self._walk(path), FileEntry)
+            node = self._walk(path)
+            if not isinstance(node, FileEntry):
+                return False
+            return node.sealed or include_pending
 
     def list_dir(self, path: str) -> list[str]:
         with self._lock:
@@ -202,20 +232,73 @@ class NameNode:
             collect(node)
             return removed
 
-    def rename(self, src: str, dst: str) -> None:
-        with self._lock:
-            src_parent, src_name = self._parent_dir(src, create=False)
-            node = src_parent.children.get(src_name)
-            if node is None:
-                raise FileNotFound(src)
-            dst_parent, dst_name = self._parent_dir(dst, create=True)
-            if dst_name in dst_parent.children:
-                raise FileAlreadyExists(dst)
-            del src_parent.children[src_name]
-            node.name = dst_name
-            dst_parent.children[dst_name] = node
+    def rename(
+        self, src: str, dst: str, *, overwrite: bool = False
+    ) -> list[FileEntry]:
+        """Move ``src`` to ``dst``; returns displaced file entries (for GC).
 
-    def walk_files(self, path: str = "/") -> list[str]:
+        ``dst`` names the final path, never a containing directory: renaming
+        onto an existing directory raises :class:`IsADirectory` (move *into*
+        a directory by spelling out ``dir/name``).  An existing file at
+        ``dst`` raises :class:`FileAlreadyExists` unless ``overwrite=True``,
+        in which case it is atomically replaced and returned for block GC.
+        """
+        with self._lock:
+            return self._rename_locked(src, dst, overwrite=overwrite)
+
+    def _rename_locked(  # requires-lock: _lock
+        self, src: str, dst: str, *, overwrite: bool, seal: bool = False
+    ) -> list[FileEntry]:
+        src_parent, src_name = self._parent_dir(src, create=False)
+        node = src_parent.children.get(src_name)
+        if node is None:
+            raise FileNotFound(src)
+        dst_parent, dst_name = self._parent_dir(dst, create=True)
+        displaced: list[FileEntry] = []
+        existing = dst_parent.children.get(dst_name)
+        if existing is not None and existing is not node:
+            if isinstance(existing, DirEntry):
+                raise IsADirectory(dst)
+            # Invisible pending files never block a rename, same as create.
+            if not overwrite and existing.sealed:
+                raise FileAlreadyExists(dst)
+            displaced.append(existing)
+        del src_parent.children[src_name]
+        node.name = dst_name
+        if seal and isinstance(node, FileEntry):
+            node.sealed = True
+        dst_parent.children[dst_name] = node
+        return displaced
+
+    def publish(self, pairs: list[tuple[str, str]]) -> list[FileEntry]:
+        """Atomically move-and-seal staged files to their final paths.
+
+        All sources are validated before anything moves, then every rename
+        happens under the one namespace lock — concurrent readers observe
+        either none or all of the published files.  Destinations are
+        overwritten (a re-publish after a crash must win over debris).
+        Returns displaced file entries for block GC.
+        """
+        with self._lock:
+            for src, dst in pairs:
+                node = self._walk(src)
+                if node is None:
+                    raise FileNotFound(src)
+                if isinstance(node, DirEntry):
+                    raise IsADirectory(src)
+                existing = self._walk(dst)
+                if isinstance(existing, DirEntry):
+                    raise IsADirectory(dst)
+            displaced: list[FileEntry] = []
+            for src, dst in pairs:
+                displaced.extend(
+                    self._rename_locked(src, dst, overwrite=True, seal=True)
+                )
+            return displaced
+
+    def walk_files(
+        self, path: str = "/", *, include_pending: bool = False
+    ) -> list[str]:
         """All file paths under ``path``, depth-first, sorted within each dir."""
         with self._lock:
             node = self._walk(path)
@@ -226,7 +309,8 @@ class NameNode:
 
             def recurse(prefix: str, entry: FileEntry | DirEntry) -> None:
                 if isinstance(entry, FileEntry):
-                    result.append(prefix)
+                    if entry.sealed or include_pending:
+                        result.append(prefix)
                     return
                 for name in sorted(entry.children):
                     child_prefix = prefix.rstrip("/") + "/" + name
@@ -234,3 +318,13 @@ class NameNode:
 
             recurse(base, node)
             return result
+
+    def pending_files(self, path: str = "/") -> list[str]:
+        """All unsealed file paths under ``path`` (fsck's raw material)."""
+        with self._lock:
+            sealed = set(self.walk_files(path))
+            return [
+                p
+                for p in self.walk_files(path, include_pending=True)
+                if p not in sealed
+            ]

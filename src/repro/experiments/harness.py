@@ -74,6 +74,9 @@ class ExperimentHarness:
             # Paper-faithful physical read volumes (Figures 6-8, Tables 1-2):
             # every logical read must hit the DFS, never a memory cache.
             block_cache_bytes=0,
+            # Commit manifests are protocol metadata the paper's byte
+            # accounting knows nothing about; keep the write volumes pinned.
+            output_commit=False,
         )
         runtime = MapReduceRuntime(
             config=RuntimeConfig(num_workers=self.num_workers, executor=self.executor),

@@ -57,8 +57,11 @@ def run(n: int = 256, nb: int = 32, m0: int = 8, seed: int = 0) -> Table1Result:
     runtime = MapReduceRuntime(config=RuntimeConfig(num_workers=4))
     try:
         inverter = MatrixInverter(
-            # Cache off: Table 1 models physical DFS reads.
-            config=InversionConfig(nb=nb, m0=m0, block_cache_bytes=0),
+            # Cache off: Table 1 models physical DFS reads.  Commit off:
+            # manifest metadata would perturb the paper's byte accounting.
+            config=InversionConfig(
+                nb=nb, m0=m0, block_cache_bytes=0, output_commit=False
+            ),
             runtime=runtime,
         )
         factors = inverter.lu(a)

@@ -71,6 +71,12 @@ class InversionConfig:
         re-read by every task in a wave.  Set 0 to disable; the Figure-7 /
         Table-1 experiment harnesses do so, keeping the paper's physical
         read-volume accounting byte-identical.
+    output_commit:
+        Two-phase crash-consistent output commit (on by default): task
+        attempts and master phases stage their writes under ``/_tmp`` and
+        publish atomically at commit, with per-step manifests under
+        ``<root>/_commit/`` driving resume instead of existence probes.
+        Off reverts to the direct-write, probe-based behaviour.
     """
 
     nb: int = 64
@@ -86,6 +92,7 @@ class InversionConfig:
     max_attempts: int = 4
     telemetry: TraceConfig | None = None
     block_cache_bytes: int = DEFAULT_BLOCK_CACHE_BYTES
+    output_commit: bool = True
 
     def __post_init__(self) -> None:
         if self.nb < 1:

@@ -24,7 +24,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dfs import formats
+from ..dfs.commit import STAGING_ROOT, CommitLog, CommitScope
 from ..dfs.filesystem import DFS
+from ..dfs.fsck import FsckReport, fsck
 from ..dfs.iostats import IOSnapshot
 from ..linalg import verify
 from ..linalg.lu import lu_decompose, lu_flop_count
@@ -57,6 +59,16 @@ class MasterIO:
         self.dfs = dfs
         self.bytes_read = 0
         self.bytes_written = 0
+        self._scope: CommitScope | None = None
+
+    # -- two-phase commit scoping (driven by Pipeline.master_phase) ----------
+
+    def begin_phase(self, scope: CommitScope) -> None:
+        """Route subsequent writes into the phase's staging scope."""
+        self._scope = scope
+
+    def end_phase(self) -> None:
+        self._scope = None
 
     def take_io(self) -> tuple[int, int]:
         """Return and reset the accumulated (read, written) byte counts."""
@@ -71,7 +83,10 @@ class MasterIO:
         return data
 
     def write_bytes(self, path: str, data: bytes) -> None:
-        self.dfs.write_bytes(path, data)
+        if self._scope is not None:
+            self._scope.stage_bytes(path, data)
+        else:
+            self.dfs.write_bytes(path, data)
         self.bytes_written += len(data)
 
     def read_matrix(self, path: str) -> np.ndarray:
@@ -204,6 +219,12 @@ class MatrixInverter:
 
         return [check_purity]
 
+    def _commit_log(self) -> CommitLog | None:
+        """The run's manifest log (``None`` with the protocol off)."""
+        if not self.config.output_commit:
+            return None
+        return CommitLog(self.runtime.dfs, self.config.root)
+
     def _pipeline(self) -> Pipeline:
         return Pipeline(
             self.runtime,
@@ -211,6 +232,8 @@ class MatrixInverter:
             retry_policy=self.config.retry,
             max_attempts=self.config.max_attempts,
             telemetry=self.config.telemetry,
+            commit_log=self._commit_log(),
+            output_commit=self.config.output_commit,
         )
 
     def _configure_cache(self) -> None:
@@ -237,6 +260,10 @@ class MatrixInverter:
         cfg = self.config
         plan, layout = self._plan_and_layout(n)
         dfs = self.runtime.dfs
+        if resume and cfg.output_commit:
+            # Roll back any debris the crashed run left — orphaned staging,
+            # unsealed files, broken manifests — before trusting DFS state.
+            self._resume_fsck(dfs)
         if resume and dfs.exists(layout.input_path):
             # Resuming a previous run of the same matrix: keep the DFS state
             # and skip the ingestion phase entirely.
@@ -250,6 +277,9 @@ class MatrixInverter:
             return layout, self._pipeline(), MasterIO(dfs)
         if dfs.exists(cfg.root):
             dfs.delete(cfg.root, recursive=True)
+        # A from-scratch run must not inherit staging debris (or stale
+        # manifests — those lived under root and are gone with it).
+        dfs.discard_staging(STAGING_ROOT)
 
         master = MasterIO(dfs)
         pipeline = self._pipeline()
@@ -269,14 +299,35 @@ class MatrixInverter:
         pipeline.master_phase("write-input", write_inputs, io=master)
         return layout, pipeline, master
 
+    def _resume_fsck(self, dfs: DFS) -> FsckReport:
+        """Repairing consistency check run before any resume decision."""
+        tracer = resolve_tracer(self.config.telemetry)
+        if not tracer.enabled:
+            return fsck(dfs, root=self.config.root, repair=True)
+        with tracer.span("resume-fsck", SpanKind.DFS_REPAIR) as span:
+            report = fsck(dfs, root=self.config.root, repair=True)
+            span.set(
+                issues=len(report.issues),
+                files_checked=report.files_checked,
+                manifests_checked=report.manifests_checked,
+            )
+            return report
+
     def _node_complete(self, layout: Layout, node: PlanNode) -> bool:
-        """True when a node's factors already exist on the DFS.
+        """True when a node's factors are already committed on the DFS.
 
         Because every intermediate lives in HDFS, the pipeline is naturally
         resumable after a *driver* failure: completed subtrees are detected
-        by their persisted outputs and skipped (task-level failures are
-        handled separately by the JobTracker's retries).
+        and skipped (task-level failures are handled separately by the
+        JobTracker's retries).  With the output-commit protocol on, the
+        check reads the per-step manifests — a step counts as done only if
+        its commit point was reached, so a crash between two files of a
+        multi-file write can never masquerade as completion.  With the
+        protocol off it falls back to the legacy existence probes.
         """
+        log = self._commit_log()
+        if log is not None:
+            return self._node_committed(log, node)
         nl = layout.of(node)
         dfs = self.runtime.dfs
         if dfs.exists(nl.l_path):  # leaf factors or combined files
@@ -290,6 +341,19 @@ class MatrixInverter:
             and all(dfs.exists(p) for p in nl.out.file_paths())
             and self._node_complete(layout, node.child2)
         )
+
+    def _node_committed(self, log: CommitLog, node: PlanNode) -> bool:
+        """Manifest-based completion: every step of the subtree committed."""
+        if node.is_leaf:
+            return log.committed(f"phase:master-lu:{node.dir}")
+        done = (
+            self._node_committed(log, node.child1)
+            and log.committed(f"job:lu:{node.dir}")
+            and self._node_committed(log, node.child2)
+        )
+        if not self.config.separate_files:
+            done = done and log.committed(f"phase:combine:{node.dir}")
+        return done
 
     def _decompose(
         self, layout: Layout, pipeline: Pipeline, master: MasterIO, node: PlanNode,
@@ -329,11 +393,15 @@ class MatrixInverter:
 
         self._decompose(layout, pipeline, master, node.child1, resume=resume)
         nl = layout.of(node)
-        job_done = resume and all(
-            self.runtime.dfs.exists(p)
-            for region in (nl.l2, nl.u2, nl.out)
-            for p in region.file_paths()
-        )
+        log = self._commit_log()
+        if log is not None:
+            job_done = resume and log.committed(f"job:lu:{node.dir}")
+        else:
+            job_done = resume and all(
+                self.runtime.dfs.exists(p)
+                for region in (nl.l2, nl.u2, nl.out)
+                for p in region.file_paths()
+            )
         if not job_done:
             pipeline.run_job(lu_job(layout, node))
         self._decompose(layout, pipeline, master, node.child2, resume=resume)
@@ -380,12 +448,20 @@ class MatrixInverter:
             layout, pipeline, master = self._prepare(a, resume=resume)
             tree = layout.plan.tree
 
-            partition_done = resume and not tree.is_leaf and all(
-                self.runtime.dfs.exists(p)
-                for node in tree.input_nodes()
-                if not node.is_leaf
-                for p in layout.of(node).a3.file_paths()
-            ) and self.runtime.dfs.exists(layout.map_input_path(0))
+            log = self._commit_log()
+            if log is not None:
+                partition_done = (
+                    resume
+                    and not tree.is_leaf
+                    and log.committed("job:partition")
+                )
+            else:
+                partition_done = resume and not tree.is_leaf and all(
+                    self.runtime.dfs.exists(p)
+                    for node in tree.input_nodes()
+                    if not node.is_leaf
+                    for p in layout.of(node).a3.file_paths()
+                ) and self.runtime.dfs.exists(layout.map_input_path(0))
             if not tree.is_leaf and not partition_done:
                 pipeline.run_job(partition_job(layout))
             self._decompose(layout, pipeline, master, tree, resume=resume)

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dfs.commit import CommitScope
     from ..telemetry.api import TraceConfig
 
 from ..dfs import formats
@@ -63,12 +64,17 @@ class TaskContext:
         params: dict[str, Any],
         trace: TaskTrace,
         counters: Counters,
+        scope: "CommitScope | None" = None,
     ) -> None:
         self.dfs = dfs
         self.attempt_id = attempt_id
         self.params = params
         self.trace = trace
         self.counters = counters
+        #: Two-phase output commit: when set, every write is staged under
+        #: this attempt's private ``/_tmp`` directory as a pending file; the
+        #: master publishes the winning attempt's files at task commit.
+        self.scope = scope
         self._emitted: list[tuple[Any, Any]] = []
 
     # -- emit ----------------------------------------------------------------
@@ -105,7 +111,10 @@ class TaskContext:
         return data
 
     def write_bytes(self, path: str, data: bytes) -> None:
-        self.dfs.write_bytes(path, data)
+        if self.scope is not None:
+            self.scope.stage_bytes(path, data)
+        else:
+            self.dfs.write_bytes(path, data)
         self._account_write(len(data))
 
     def read_text(self, path: str) -> str:
@@ -231,6 +240,11 @@ class JobConf:
     #: ``None`` falls back to the runtime's config, then the ambient tracer
     #: activated by :func:`repro.observe`.
     telemetry: "TraceConfig | None" = None
+    #: Two-phase output commit (on by default): task attempts stage their
+    #: DFS writes under ``/_tmp/attempt-<id>/`` and the master atomically
+    #: publishes only the winning attempt's files — crashed, losing, and
+    #: zombie attempts never touch the final namespace.
+    output_commit: bool = True
 
     def __post_init__(self) -> None:
         if not self.splits:

@@ -30,9 +30,10 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
+from ..dfs.commit import staging_dir
 from ..dfs.filesystem import DFS
 from ..telemetry.spans import NULL_TRACER, NullTracer, Span, SpanKind, Tracer
 from .counters import (
@@ -233,6 +234,8 @@ class _PhaseStats:
     timeouts: int = 0
     backoff_seconds: float = 0.0
     retries: dict[int, int] | None = None  # filled at phase end
+    #: final paths the winning attempts published (output commit on).
+    published: list[str] = field(default_factory=list)
 
 
 class JobTracker:
@@ -412,6 +415,11 @@ class JobTracker:
             timed_out_tasks = set()
             for (idx, attempt_id, node), outcome in zip(wave, outcomes):
                 if isinstance(outcome, Exception):
+                    if getattr(outcome, "fatal", False):
+                        # Non-retryable (e.g. an injected driver crash):
+                        # propagate immediately — no cleanup, exactly as if
+                        # the master process died at this point.
+                        raise outcome
                     stats.failed += 1
                     timed_out = isinstance(outcome, TaskTimeoutError)
                     if timed_out:
@@ -429,10 +437,22 @@ class JobTracker:
                     )
                     last_failed_node[idx] = node
                     self.node_health.record_failure(node)
+                    # Roll back whatever the failed attempt staged (a
+                    # timed-out zombie may re-create debris afterwards;
+                    # it stays invisible under /_tmp until fsck).
+                    self.dfs.discard_staging(
+                        staging_dir(f"attempt-{attempt_id}")
+                    )
                     continue
                 self.node_health.record_success(node)
+                staged = getattr(outcome, "staged", None)
                 if idx in still_pending:
                     # First success wins; later duplicates are discarded.
+                    # Task commit: atomically publish the winner's staged
+                    # files to their final paths before recording success.
+                    if staged:
+                        self.dfs.publish(list(staged))
+                        stats.published.extend(dst for _, dst in staged)
                     results[idx] = outcome
                     still_pending.discard(idx)
                     # Stamp the winning attempt so reconciliation counts each
@@ -440,6 +460,10 @@ class JobTracker:
                     won = attempt_spans.get((idx, attempt_id.attempt))
                     if won is not None:
                         won.set(committed=True)
+                if staged is not None:
+                    self.dfs.discard_staging(
+                        staging_dir(f"attempt-{attempt_id}")
+                    )
             exhausted = [
                 idx
                 for idx in still_pending
@@ -498,6 +522,7 @@ class JobTracker:
             attempts_timed_out=map_stats.timeouts,
             backoff_seconds=map_stats.backoff_seconds,
             map_retries=map_stats.retries or {},
+            published_paths=list(map_stats.published),
         )
 
         if conf.is_map_only:
@@ -541,4 +566,5 @@ class JobTracker:
         result.attempts_failed += reduce_stats.failed
         result.attempts_timed_out += reduce_stats.timeouts
         result.backoff_seconds += reduce_stats.backoff_seconds
+        result.published_paths.extend(reduce_stats.published)
         return result

@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, Sequence
 
+from ..dfs.commit import CommitLog, CommitScope, _quote
 from ..telemetry.api import TraceConfig, resolve_tracer
 from ..telemetry.spans import SpanKind
 from .job import JobConf
@@ -93,13 +94,20 @@ class Pipeline:
         retry_policy: RetryPolicy | None = None,
         max_attempts: int | None = None,
         telemetry: TraceConfig | None = None,
+        commit_log: CommitLog | None = None,
+        output_commit: bool = True,
     ) -> None:
         self.runtime = runtime
         self.validators: list[Callable[[JobConf], None]] = list(validators)
         self.retry_policy = retry_policy
         self.max_attempts = max_attempts
         self.telemetry = telemetry
+        #: Manifest log for step-done markers (``None`` disables manifests;
+        #: task-level staging is controlled separately by ``output_commit``).
+        self.commit_log = commit_log
+        self.output_commit = output_commit
         self.record = PipelineRecord()
+        self._phase_seq = 0
 
     def run_job(self, conf: JobConf) -> JobResult:
         if self.retry_policy is not None and conf.retry_policy is None:
@@ -108,10 +116,16 @@ class Pipeline:
             conf.max_attempts = self.max_attempts
         if self.telemetry is not None and conf.telemetry is None:
             conf.telemetry = self.telemetry
+        conf.output_commit = conf.output_commit and self.output_commit
         for validate in self.validators:
             validate(conf)
         result = self.runtime.run_job(conf)
         self.record.steps.append(result)
+        if self.commit_log is not None and conf.output_commit:
+            # Written last: the job's durable done-marker.  A crash anywhere
+            # before this line makes resume re-run the job (idempotently —
+            # re-publishing overwrites the same final paths).
+            self.commit_log.record(f"job:{conf.name}", result.published_paths)
         return result
 
     def master_phase(
@@ -131,12 +145,39 @@ class Pipeline:
         (``take_io``) and added to the declared counts — so callers don't
         have to reach back into the record, and the phase's telemetry span
         carries the byte attributes before it closes.
+
+        With a ``commit_log`` and an ``io`` adapter that supports phase
+        scoping (``begin_phase``/``end_phase``), the phase's writes are
+        staged, published atomically after ``fn`` returns, and recorded in
+        a ``phase:<name>`` manifest — the phase's durable done-marker.
         """
+        scope: CommitScope | None = None
+        if (
+            self.commit_log is not None
+            and io is not None
+            and hasattr(io, "begin_phase")
+        ):
+            self._phase_seq += 1
+            scope = CommitScope(
+                self.runtime.dfs, f"phase-{self._phase_seq}-{_quote(name)}"
+            )
+            io.begin_phase(scope)
+
+        def run() -> Any:
+            result = fn()
+            if scope is not None:
+                # Phase commit: one atomic publish, then the manifest.  A
+                # crash before the manifest write re-runs the whole phase.
+                published = scope.publish()
+                io.end_phase()
+                self.commit_log.record(f"phase:{name}", published)
+            return result
+
         tracer = resolve_tracer(self.telemetry)
         start = time.perf_counter()
         if tracer.enabled:
             with tracer.span(name, SpanKind.MASTER_PHASE) as span:
-                out = fn()
+                out = run()
                 if io is not None:
                     r, w = io.take_io()
                     bytes_read += r
@@ -145,7 +186,7 @@ class Pipeline:
                     bytes_read=bytes_read, bytes_written=bytes_written, flops=flops
                 )
         else:
-            out = fn()
+            out = run()
             if io is not None:
                 r, w = io.take_io()
                 bytes_read += r

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..dfs.commit import CommitScope
 from ..dfs.filesystem import DFS
 from .counters import (
     Counters,
@@ -42,6 +43,9 @@ class MapAttemptResult:
     partitions: dict[int, list[tuple[Any, Any]]]
     trace: TaskTrace
     counters: Counters
+    #: ``(staged_path, final_path)`` pairs this attempt wrote under its
+    #: staging directory; the master publishes them iff the attempt wins.
+    staged: list[tuple[str, str]] = field(default_factory=list)
 
 
 @dataclass
@@ -50,6 +54,14 @@ class ReduceAttemptResult:
     output: list[tuple[Any, Any]]
     trace: TaskTrace
     counters: Counters
+    staged: list[tuple[str, str]] = field(default_factory=list)
+
+
+def attempt_scope(dfs: DFS, conf: JobConf, attempt_id: TaskAttemptId) -> CommitScope | None:
+    """The attempt's private staging scope (``None`` with the protocol off)."""
+    if not conf.output_commit:
+        return None
+    return CommitScope(dfs, f"attempt-{attempt_id}")
 
 
 def run_map_attempt(
@@ -63,7 +75,8 @@ def run_map_attempt(
     """Run one map attempt to completion (exceptions propagate to the master)."""
     counters = Counters()
     trace = TaskTrace(attempt=str(attempt_id), kind=TaskKind.MAP, node=node)
-    ctx = TaskContext(dfs, attempt_id, conf.params, trace, counters)
+    scope = attempt_scope(dfs, conf, attempt_id)
+    ctx = TaskContext(dfs, attempt_id, conf.params, trace, counters, scope=scope)
     start = time.perf_counter()
 
     fault_policy.maybe_fail(attempt_id, node)
@@ -86,7 +99,13 @@ def run_map_attempt(
         counters.increment(TASK_GROUP, SHUFFLE_BYTES, shuffled)
 
     trace.wall_seconds = time.perf_counter() - start
-    return MapAttemptResult(attempt_id, partitions, trace, counters)
+    return MapAttemptResult(
+        attempt_id,
+        partitions,
+        trace,
+        counters,
+        staged=list(scope.staged) if scope is not None else [],
+    )
 
 
 def run_reduce_attempt(
@@ -102,7 +121,8 @@ def run_reduce_attempt(
         raise ValueError(f"job {conf.name!r} is map-only; no reduce to run")
     counters = Counters()
     trace = TaskTrace(attempt=str(attempt_id), kind=TaskKind.REDUCE, node=node)
-    ctx = TaskContext(dfs, attempt_id, conf.params, trace, counters)
+    scope = attempt_scope(dfs, conf, attempt_id)
+    ctx = TaskContext(dfs, attempt_id, conf.params, trace, counters, scope=scope)
     start = time.perf_counter()
 
     fault_policy.maybe_fail(attempt_id, node)
@@ -121,4 +141,10 @@ def run_reduce_attempt(
     output = list(ctx.emitted)
     counters.increment(TASK_GROUP, REDUCE_OUTPUT_RECORDS, len(output))
     trace.wall_seconds = time.perf_counter() - start
-    return ReduceAttemptResult(attempt_id, output, trace, counters)
+    return ReduceAttemptResult(
+        attempt_id,
+        output,
+        trace,
+        counters,
+        staged=list(scope.staged) if scope is not None else [],
+    )

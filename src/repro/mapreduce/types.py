@@ -117,6 +117,9 @@ class JobResult:
     #: schedules these as occupied slots).
     map_retries: dict[int, int] = field(default_factory=dict)
     reduce_retries: dict[int, int] = field(default_factory=dict)
+    #: Final DFS paths the winning attempts published under the two-phase
+    #: output commit (empty when the job ran with ``output_commit=False``).
+    published_paths: list[str] = field(default_factory=list)
 
     @property
     def traces(self) -> list[TaskTrace]:

@@ -96,10 +96,23 @@ class TotalsReconciliation:
     cache_bytes_requested: int = 0
     cache_bytes_served: int = 0
     cache_bytes_missed: int = 0
+    bytes_staged: int = 0
+    bytes_published: int = 0
+    bytes_discarded: int = 0
 
     @property
     def read_delta(self) -> float:
         return _delta(self.span_bytes_read, self.iostats_bytes_read)
+
+    @property
+    def commit_delta(self) -> float:
+        """Two-phase commit conservation: at quiescence every staged byte
+        was either published (sealed onto its final path) or discarded
+        (aborted attempt, losing duplicate, fsck rollback) —
+        ``staged == published + discarded`` exactly."""
+        return _delta(
+            self.bytes_staged, self.bytes_published + self.bytes_discarded
+        )
 
     @property
     def cache_delta(self) -> float:
@@ -125,6 +138,7 @@ class TotalsReconciliation:
             self.read_delta <= tolerance
             and self.write_delta <= tolerance
             and self.cache_delta <= tolerance
+            and self.commit_delta <= tolerance
         )
 
 
@@ -203,6 +217,13 @@ class ReconciliationReport:
                     f"{t.cache_bytes_requested:,} vs served "
                     f"{t.cache_bytes_served:,} + read-through "
                     f"{t.cache_bytes_missed:,} ({t.cache_delta * 100:.2f}%)"
+                )
+            if t.bytes_staged:
+                lines.append(
+                    f"  [{mark:>4}] output commit: staged "
+                    f"{t.bytes_staged:,} vs published "
+                    f"{t.bytes_published:,} + discarded "
+                    f"{t.bytes_discarded:,} ({t.commit_delta * 100:.2f}%)"
                 )
         if self.model is not None:
             mark = "ok" if self.model.ok else "FAIL"
@@ -303,6 +324,9 @@ def reconcile_run(
         totals.cache_bytes_requested = io.cache_bytes_requested
         totals.cache_bytes_served = io.cache_bytes_served
         totals.cache_bytes_missed = io.cache_bytes_missed
+        totals.bytes_staged = io.bytes_staged
+        totals.bytes_published = io.bytes_published
+        totals.bytes_discarded = io.bytes_discarded
         for span in spans:
             if span.kind is SpanKind.DFS_READ:
                 totals.span_bytes_read += int(span.attrs.get("bytes", 0))

@@ -60,6 +60,7 @@ class SpanKind(enum.Enum):
     DFS_READ = "dfs.read"
     DFS_WRITE = "dfs.write"
     DFS_REPAIR = "dfs.repair"
+    COMMIT = "dfs.commit"
     INTERNAL = "internal"
 
 

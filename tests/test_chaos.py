@@ -176,3 +176,37 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "campaign PASSED" in out
         assert "nemesis: before job 1" in out
+
+
+class TestTornWriteSchedule:
+    def test_torn_write_schedule_is_in_the_battery(self):
+        names = {s.name for s in builtin_schedules(seed=0)}
+        assert "torn-write" in names
+
+    def test_torn_write_crashes_and_resumes_clean(self):
+        outcome = run_schedule(schedule_by_name("torn-write"), seed=0)
+        assert outcome.ok, [inv.to_dict() for inv in outcome.invariants]
+        assert outcome.crashed_and_resumed
+        # The torn pending files must not survive as orphans.
+        assert all(inv.ok for inv in outcome.invariants)
+
+
+class TestCrashPointSweep:
+    def test_sweep_is_exhaustive_and_green(self):
+        from repro.chaos import run_crash_point_sweep
+
+        sweep = run_crash_point_sweep(seed=0)
+        assert sweep.ok, sweep.format()
+        # Every create and publish of the baseline run was crash-tested.
+        assert sweep.num_points > 50
+        assert {p.point.op for p in sweep.outcomes} == {"create", "publish"}
+        assert all(p.crashed for p in sweep.outcomes)
+
+    def test_sweep_report_serializes(self):
+        from repro.chaos import run_crash_point_sweep
+
+        sweep = run_crash_point_sweep(seed=0)
+        payload = sweep.to_dict()
+        assert payload["ok"] is True
+        assert payload["num_points"] == len(payload["points"])
+        assert "PASSED" in sweep.format()

@@ -57,6 +57,7 @@ class TestRegistry:
             "describe",
             "lint",
             "chaos",
+            "dfs",
             "experiments",
             "table",
             "figure",

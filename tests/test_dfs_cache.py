@@ -264,7 +264,9 @@ class TestFaultSemantics:
 class TestPaperAccounting:
     def test_fig7_read_volumes_pinned_with_cache_disabled(self, rng):
         """Regression against the pre-cache seed: with ``block_cache_bytes=0``
-        the Figure-7 physical read accounting is byte-identical."""
+        (and the commit protocol's manifest metadata off, matching the
+        experiment harnesses) the Figure-7 physical accounting is
+        byte-identical."""
         golden = json.loads(GOLDEN.read_text())
         n = golden["n"]
         g = np.random.default_rng(golden["rng_seed"])
@@ -274,7 +276,7 @@ class TestPaperAccounting:
                 a,
                 InversionConfig(
                     nb=golden["nb"], m0=golden["m0"], block_wrap=wrap,
-                    block_cache_bytes=0,
+                    block_cache_bytes=0, output_commit=False,
                 ),
             )
             expect = golden["io"][key]

@@ -124,3 +124,94 @@ class TestRename:
         nn.create_file("/b")
         with pytest.raises(FileAlreadyExists):
             nn.rename("/a", "/b")
+
+    def test_rename_overwrite_returns_displaced_entry(self, nn):
+        nn.create_file("/a")
+        old = nn.create_file("/b")
+        displaced = nn.rename("/a", "/b", overwrite=True)
+        assert displaced == [old]
+        assert not nn.exists("/a")
+        assert nn.is_file("/b")
+
+    def test_rename_onto_directory_rejected_even_with_overwrite(self, nn):
+        nn.create_file("/a")
+        nn.mkdirs("/d")
+        with pytest.raises(IsADirectory):
+            nn.rename("/a", "/d", overwrite=True)
+        assert nn.is_file("/a")  # untouched on failure
+
+    def test_rename_onto_pending_file_never_blocks(self, nn):
+        nn.create_file("/a")
+        pending = nn.create_file("/b", pending=True)
+        displaced = nn.rename("/a", "/b")  # no overwrite needed
+        assert displaced == [pending]
+        assert nn.is_file("/b")
+
+    def test_renamed_entries_keep_their_generation(self, nn):
+        entry = nn.create_file("/a")
+        nn.rename("/a", "/b")
+        assert nn.get_file("/b").generation == entry.generation
+
+
+class TestPendingLifecycle:
+    def test_pending_file_is_invisible_until_sealed(self, nn):
+        nn.create_file("/Root/f", pending=True)
+        assert not nn.exists("/Root/f")
+        assert not nn.is_file("/Root/f")
+        with pytest.raises(FileNotFound):
+            nn.get_file("/Root/f")
+        assert nn.exists("/Root/f", include_pending=True)
+        assert nn.walk_files("/") == []
+        assert nn.walk_files("/", include_pending=True) == ["/Root/f"]
+        nn.seal("/Root/f")
+        assert nn.is_file("/Root/f")
+        assert nn.walk_files("/") == ["/Root/f"]
+
+    def test_pending_files_lists_only_unsealed(self, nn):
+        nn.create_file("/sealed")
+        nn.create_file("/torn", pending=True)
+        assert nn.pending_files("/") == ["/torn"]
+
+    def test_pending_file_never_blocks_recreation(self, nn):
+        # A crashed writer's half-written file must not make the retry fail.
+        nn.create_file("/f", pending=True)
+        nn.create_file("/f", pending=True)  # no overwrite flag needed
+        entry = nn.create_file("/f")
+        assert nn.get_file("/f") is entry
+
+    def test_sealed_file_still_requires_overwrite(self, nn):
+        nn.create_file("/f")
+        with pytest.raises(FileAlreadyExists):
+            nn.create_file("/f", pending=True)
+
+
+class TestPublish:
+    def test_publish_moves_and_seals_every_pair(self, nn):
+        nn.create_file("/_tmp/t/Root/a", pending=True)
+        nn.create_file("/_tmp/t/Root/b", pending=True)
+        nn.publish([("/_tmp/t/Root/a", "/Root/a"), ("/_tmp/t/Root/b", "/Root/b")])
+        assert nn.is_file("/Root/a") and nn.is_file("/Root/b")
+        assert nn.get_file("/Root/a").sealed
+        assert nn.pending_files("/Root") == []
+
+    def test_publish_replaces_sealed_destination(self, nn):
+        debris = nn.create_file("/Root/a")  # an earlier publish's output
+        nn.create_file("/_tmp/t/Root/a", pending=True)
+        displaced = nn.publish([("/_tmp/t/Root/a", "/Root/a")])
+        assert debris in displaced
+
+    def test_publish_validates_all_before_moving_any(self, nn):
+        # Second pair is bad (missing source): the first must not move either.
+        nn.create_file("/_tmp/t/Root/a", pending=True)
+        with pytest.raises(FileNotFound):
+            nn.publish([("/_tmp/t/Root/a", "/Root/a"), ("/_tmp/t/Root/b", "/Root/b")])
+        assert not nn.exists("/Root/a")
+        assert nn.exists("/_tmp/t/Root/a", include_pending=True)
+
+    def test_publish_onto_directory_rejected_atomically(self, nn):
+        nn.create_file("/_tmp/t/Root/a", pending=True)
+        nn.create_file("/_tmp/t/Root/b", pending=True)
+        nn.mkdirs("/Root/b")
+        with pytest.raises(IsADirectory):
+            nn.publish([("/_tmp/t/Root/a", "/Root/a"), ("/_tmp/t/Root/b", "/Root/b")])
+        assert not nn.exists("/Root/a")

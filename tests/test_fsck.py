@@ -1,0 +1,144 @@
+"""fsck: detection and rollback of commit-protocol debris.
+
+Three debris categories a driver crash can leave behind — orphaned staging
+files, unsealed files outside staging, and manifests that lie about what
+was published — plus the CLI self-check and the auto-fsck that
+``invert(resume=True)`` runs before trusting any on-DFS state.
+"""
+
+import json
+
+import pytest
+
+from repro import InversionConfig
+from repro.dfs import DFS, CommitLog, fsck, staging_path
+from repro.dfs.cli import main as dfs_main
+from repro.inversion import MatrixInverter
+from repro.mapreduce import MapReduceRuntime, RuntimeConfig
+
+from conftest import random_invertible
+
+
+@pytest.fixture
+def small(dfs):
+    """A healthy published file plus each category of debris."""
+    dfs.write_bytes("/Root/keep.bin", b"healthy")
+    dfs.stage_bytes(staging_path("attempt-dead", "/Root/lost.bin"), b"orphan")
+    dfs.stage_bytes("/Root/torn.bin", b"torn direct write")
+    log = CommitLog(dfs, "/Root")
+    log.record("job:lying", ["/Root/ghost.bin"])  # lists a file that isn't there
+    dfs.write_bytes(log.path("job:broken"), b"{not json")
+    return dfs
+
+
+class TestDetection:
+    def test_pristine_tree_is_clean(self, dfs):
+        dfs.write_bytes("/Root/a", b"x")
+        report = fsck(dfs, repair=False)
+        assert report.clean
+        assert report.files_checked >= 1
+
+    def test_all_three_categories_detected(self, small):
+        report = fsck(small, repair=False)
+        kinds = {i.kind for i in report.issues}
+        assert kinds == {"orphaned-staging", "unsealed-file", "invalid-manifest"}
+
+    def test_orphaned_staging_path_reported(self, small):
+        report = fsck(small, repair=False)
+        orphans = [i.path for i in report.issues if i.kind == "orphaned-staging"]
+        assert orphans == [staging_path("attempt-dead", "/Root/lost.bin")]
+
+    def test_both_bad_manifests_flagged(self, small):
+        report = fsck(small, repair=False)
+        bad = [i for i in report.issues if i.kind == "invalid-manifest"]
+        assert len(bad) == 2
+        details = " ".join(i.detail for i in bad)
+        assert "unparseable" in details
+        assert "/Root/ghost.bin" in details
+
+    def test_manifest_listing_unsealed_file_is_invalid(self, dfs):
+        dfs.stage_bytes("/Root/half.bin", b"pending")  # never sealed
+        CommitLog(dfs, "/Root").record("job:x", ["/Root/half.bin"])
+        report = fsck(dfs, repair=False)
+        assert any(
+            i.kind == "invalid-manifest" and "half.bin" in i.detail
+            for i in report.issues
+        )
+
+
+class TestRepair:
+    def test_report_only_leaves_debris_in_place(self, small):
+        fsck(small, repair=False)
+        assert small.namenode.walk_files("/_tmp", include_pending=True)
+        assert small.namenode.pending_files("/Root")
+
+    def test_repair_rolls_everything_back(self, small):
+        report = fsck(small, repair=True)
+        assert all(i.repaired for i in report.issues)
+        assert fsck(small, repair=False).clean
+        assert small.namenode.pending_files("/") == []
+        # Healthy published data survives the rollback.
+        assert small.read_bytes("/Root/keep.bin") == b"healthy"
+
+    def test_repair_debits_discard_ledger(self, small):
+        staged_before = small.stats.bytes_staged
+        discarded_before = small.stats.bytes_discarded
+        fsck(small, repair=True)
+        # Both pending files' bytes moved to the discarded column.
+        assert small.stats.bytes_discarded > discarded_before
+        assert small.stats.bytes_staged == staged_before
+
+    def test_invalid_manifests_deleted_so_steps_rerun(self, small):
+        fsck(small, repair=True)
+        log = CommitLog(small, "/Root")
+        assert not log.committed("job:lying")
+        assert not log.committed("job:broken")
+
+
+class TestResumeAutoFsck:
+    def test_resume_repairs_before_trusting_manifests(self, rng):
+        dfs = DFS(num_datanodes=3, replication=2, block_size=1 << 16, seed=0)
+        runtime = MapReduceRuntime(
+            dfs=dfs, config=RuntimeConfig(num_workers=2, executor="serial")
+        )
+        config = InversionConfig(nb=2, m0=2)
+        a = random_invertible(rng, 8)
+        inverter = MatrixInverter(config=config, runtime=runtime)
+        first = inverter.invert(a)
+        # Simulate crash debris on the completed tree: an orphaned staging
+        # file and a manifest lying about a file that was never published.
+        dfs.stage_bytes(staging_path("attempt-zombie", "/Root/z.bin"), b"zzz")
+        log = CommitLog(dfs, config.root)
+        final_manifest = log.published("job:invert-final")
+        dfs.delete(log.path("job:invert-final"))
+        log.record("job:invert-final", final_manifest + ["/Root/ghost.bin"])
+        result = inverter.invert(a, resume=True)
+        assert result.residual(a) < 1e-8
+        assert abs(result.residual(a) - first.residual(a)) < 1e-8
+        report = fsck(dfs, root=config.root, repair=False)
+        assert report.clean, report.format()
+        # The lying manifest was dropped and the final job re-ran.
+        assert log.committed("job:invert-final")
+        assert "/Root/ghost.bin" not in log.published("job:invert-final")
+        runtime.shutdown()
+
+
+class TestCLI:
+    def test_self_check_is_green(self, capsys):
+        assert dfs_main(["fsck", "--self-check"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_self_check_json(self, capsys):
+        assert dfs_main(["fsck", "--self-check", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["checks"]) >= 8
+
+    def test_demo_detects_and_repairs_crash_debris(self, capsys):
+        assert dfs_main(["fsck", "--crash-at", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out or "clean" in out
+
+    def test_no_repair_reports_without_touching(self, capsys):
+        assert dfs_main(["fsck", "--crash-at", "6", "--no-repair"]) == 0

@@ -174,6 +174,18 @@ class TestReconciliation:
         assert payload["ok"] is True
         assert payload["job_spans"] == payload["expected_job_spans"]
 
+    def test_commit_ledger_reconciles_to_zero(self):
+        """With the output-commit protocol on (the default), the staging
+        ledger must conserve exactly: staged == published + discarded."""
+        obs, result, report = run_traced_inversion(n=48, nb=16, m0=4)
+        totals = report.totals
+        assert totals is not None
+        assert result.config.output_commit
+        assert totals.bytes_staged > 0
+        assert totals.bytes_staged == totals.bytes_published + totals.bytes_discarded
+        assert totals.commit_delta == 0.0
+        assert "output commit" in report.format()
+
 
 class TestFailureCorrelation:
     def test_job_failed_error_carries_trace_and_span(self, dfs):
