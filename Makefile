@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint chaos trace-demo check bench bench-cache experiments examples coverage clean
+.PHONY: install test test-processes lint chaos chaos-processes trace-demo check bench bench-cache bench-executor experiments examples coverage clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Process-pool backend subset: backend conformance over every registered
+# executor plus the shared-memory DFS / crash-recovery battery.
+test-processes:
+	$(PYTHON) -m pytest tests/test_backends_conformance.py tests/test_process_backend.py
 
 # Static analysis. The repro linter (plan dataflow + mapper/reducer purity
 # + lock discipline + process safety) needs only the runtime deps; ruff and
@@ -41,6 +46,12 @@ chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --sweep --seed 0
 	PYTHONPATH=src $(PYTHON) -m repro dfs fsck --self-check
 
+# Same schedule battery, but task attempts run in forked worker processes
+# over shared-memory DFS segments (the --sweep crash-point enumeration
+# stays serial by design).
+chaos-processes:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --seed 0 --executor processes
+
 # Traced inversion at the acceptance configuration: renders the span tree,
 # per-job timeline, and critical path, then audits span totals against the
 # engine's Counters, the DFS ledger, and the paper's Table-1 cost model.
@@ -58,6 +69,12 @@ bench:
 # Writes BENCH_cache.json; exit status 0 iff the acceptance criteria hold.
 bench-cache:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_cache.py
+
+# Execution-backend benchmark: serial vs threads vs processes end-to-end
+# inversion.  Writes BENCH_executor.json; the processes-speedup gate only
+# applies on multi-core hosts (single-core runs record the IPC overhead).
+bench-executor:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_executor.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.run_all

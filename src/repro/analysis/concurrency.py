@@ -1202,7 +1202,7 @@ def _find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
 #: population whose lock discipline the self-check gates on.
 THREADED_MODULES: tuple[str, ...] = (
     "mapreduce/master.py",
-    "mapreduce/worker.py",
+    "mapreduce/backends.py",
     "mapreduce/counters.py",
     "mapreduce/faults.py",
     "dfs/blocks.py",

@@ -1,10 +1,9 @@
 """Process-safety & ownership analyzer: proving task code can cross a
 process boundary.
 
-The engine today runs tasks on :class:`SerialExecutor` or
-:class:`ThreadPoolBackend` — process pools are deliberately absent because
-the DFS is an in-process object shared by reference (see
-``mapreduce/worker.py``).  The ROADMAP's ``ProcessPoolBackend`` (with
+The engine runs tasks on :class:`SerialExecutor`,
+:class:`ThreadPoolBackend`, or :class:`ProcessPoolBackend` (see
+``mapreduce/backends.py``).  The process pool (with
 ``multiprocessing.shared_memory`` block transport) requires every mapper,
 reducer, combiner, factory, ``before_job`` hook, and executor thunk to be
 safe to *pickle and ship*: no captured locks or threads, no smuggled DFS

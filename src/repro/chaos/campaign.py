@@ -242,6 +242,7 @@ def run_schedule(
     m0: int = 4,
     num_datanodes: int = 5,
     replication: int = 3,
+    executor: str = "serial",
 ) -> ScheduleOutcome:
     """Run one full inversion under ``schedule`` and check every invariant."""
     outcome = ScheduleOutcome(schedule=schedule.name, description=schedule.description)
@@ -251,7 +252,7 @@ def run_schedule(
     dfs = DFS(num_datanodes=num_datanodes, replication=replication, seed=seed)
     runtime = MapReduceRuntime(
         dfs=dfs,
-        config=RuntimeConfig(num_workers=m0, executor="serial"),
+        config=RuntimeConfig(num_workers=m0, executor=executor),
         fault_policy=schedule.make_task_faults(seed),
     )
     nemesis = Nemesis(schedule.events, dfs, seed)
@@ -316,12 +317,15 @@ def run_campaign(
     nb: int = 16,
     m0: int = 4,
     schedules: tuple[FaultSchedule, ...] | None = None,
+    executor: str = "serial",
 ) -> CampaignReport:
     """Run the full battery (or a custom one) and collect every outcome."""
     report = CampaignReport(seed=seed, n=n, nb=nb, m0=m0)
     for schedule in schedules if schedules is not None else builtin_schedules(seed):
         report.outcomes.append(
-            run_schedule(schedule, seed=seed, n=n, nb=nb, m0=m0)
+            run_schedule(
+                schedule, seed=seed, n=n, nb=nb, m0=m0, executor=executor
+            )
         )
     return report
 

@@ -75,6 +75,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--nb", type=int, default=16, help="bound value")
     parser.add_argument("--m0", type=int, default=4, help="workers per job")
     parser.add_argument(
+        "--executor",
+        choices=("serial", "threads", "processes"),
+        default="serial",
+        help="task execution backend for the battery (default: serial); "
+        "the --sweep crash-point enumeration is always serial",
+    )
+    parser.add_argument(
         "--schedule",
         action="append",
         metavar="NAME",
@@ -119,7 +126,12 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     report = run_campaign(
-        seed=args.seed, n=args.n, nb=args.nb, m0=args.m0, schedules=schedules
+        seed=args.seed,
+        n=args.n,
+        nb=args.nb,
+        m0=args.m0,
+        schedules=schedules,
+        executor=args.executor,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))

@@ -12,10 +12,16 @@ def cmd_invert(args: argparse.Namespace) -> int:
     from .driver import MatrixInverter
 
     a = random_dense(args.n, seed=args.seed)
-    config = InversionConfig(nb=args.nb, m0=args.m0)
+    config = InversionConfig(
+        nb=args.nb,
+        m0=args.m0,
+        executor=args.executor,
+        num_workers=args.num_workers,
+    )
     inverter = MatrixInverter(config=config)
     result = inverter.invert(a)
-    print(f"order {args.n}, nb={args.nb}, m0={args.m0}")
+    print(f"order {args.n}, nb={args.nb}, m0={args.m0}, "
+          f"executor={args.executor}")
     print(f"jobs: {result.num_jobs}  (depth {result.plan.depth})")
     print(f"driver residual:      {result.residual(a):.3e}")
     if args.verify:
@@ -31,6 +37,11 @@ def configure_invert(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nb", type=int, default=64)
     parser.add_argument("--m0", type=int, default=4)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--executor", choices=("serial", "threads", "processes"),
+                        default="serial",
+                        help="task execution backend (default: serial)")
+    parser.add_argument("--num-workers", type=int, default=None,
+                        help="worker-pool width (default: m0)")
     parser.add_argument("--verify", action="store_true",
                         help="also run the distributed verification job")
 

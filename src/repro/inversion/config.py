@@ -77,6 +77,15 @@ class InversionConfig:
         publish atomically at commit, with per-step manifests under
         ``<root>/_commit/`` driving resume instead of existence probes.
         Off reverts to the direct-write, probe-based behaviour.
+    executor:
+        Execution backend for task attempts: ``"serial"`` (default),
+        ``"threads"``, or ``"processes"`` — any name registered with
+        :func:`~repro.mapreduce.register_backend`.  Only consulted when the
+        driver builds its own runtime; an explicitly passed runtime or
+        runtime config wins.
+    num_workers:
+        Worker-pool width for the driver-built runtime.  ``None`` (default)
+        sizes the pool to ``m0`` — one slot per simulated compute node.
     """
 
     nb: int = 64
@@ -93,6 +102,8 @@ class InversionConfig:
     telemetry: TraceConfig | None = None
     block_cache_bytes: int = DEFAULT_BLOCK_CACHE_BYTES
     output_commit: bool = True
+    executor: str = "serial"
+    num_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.nb < 1:
@@ -107,6 +118,8 @@ class InversionConfig:
             raise ValueError(f"unknown input_format {self.input_format!r}")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1 (or None for m0)")
 
     @property
     def mhalf(self) -> int:

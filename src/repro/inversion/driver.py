@@ -157,9 +157,10 @@ class MatrixInverter:
         Pipeline tunables (:class:`InversionConfig`).  Defaults match the
         paper's setup scaled down (nb=64, m0=4, all optimizations on).
     runtime:
-        An existing :class:`MapReduceRuntime` to run on; when omitted a fresh
-        serial runtime with its own DFS is created (and shut down by
-        ``close``).
+        An existing :class:`MapReduceRuntime` to run on; when omitted a
+        fresh runtime with its own DFS is created (and shut down by
+        ``close``), sized and backed per ``config.num_workers`` /
+        ``config.executor``.
     fault_policy:
         Optional fault injection (only used when the runtime is created here).
     """
@@ -173,6 +174,13 @@ class MatrixInverter:
     ) -> None:
         self.config = config or InversionConfig()
         self._owns_runtime = runtime is None
+        if runtime is None and runtime_config is None:
+            # Derive the runtime from the inversion config: one worker slot
+            # per compute node unless num_workers overrides it.
+            runtime_config = RuntimeConfig(
+                num_workers=self.config.num_workers or self.config.m0,
+                executor=self.config.executor,
+            )
         self.runtime = runtime or MapReduceRuntime(
             config=runtime_config, fault_policy=fault_policy
         )

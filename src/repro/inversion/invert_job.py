@@ -27,6 +27,7 @@ from ..mapreduce import (
     Mapper,
     Reducer,
     TaskContext,
+    TaskFactory,
 )
 from .factors import read_lower, read_upper
 from .layout import Layout
@@ -187,8 +188,8 @@ def invert_job(layout: Layout) -> JobConf:
     m0 = layout.config.m0
     return JobConf(
         name="invert-final",
-        mapper_factory=lambda: InvertMapper(layout),
-        reducer_factory=lambda: InvertReducer(layout),
+        mapper_factory=TaskFactory(InvertMapper, (layout,)),
+        reducer_factory=TaskFactory(InvertReducer, (layout,)),
         splits=control_splits(layout),
         num_reduce_tasks=m0,
     )

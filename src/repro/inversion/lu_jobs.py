@@ -35,6 +35,7 @@ from ..mapreduce import (
     Mapper,
     Reducer,
     TaskContext,
+    TaskFactory,
 )
 from .factors import read_lower, read_perm, read_upper
 from .layout import Layout
@@ -133,7 +134,7 @@ def partition_job(layout: Layout) -> JobConf:
     """Map-only partition job over ``m0`` control-file splits."""
     return JobConf(
         name="partition",
-        mapper_factory=lambda: PartitionMapper(layout),
+        mapper_factory=TaskFactory(PartitionMapper, (layout,)),
         splits=control_splits(layout),
     )
 
@@ -239,8 +240,8 @@ def lu_job(layout: Layout, node: PlanNode) -> JobConf:
     m0 = layout.config.m0
     return JobConf(
         name=f"lu:{node.dir}",
-        mapper_factory=lambda: LUJobMapper(layout, node),
-        reducer_factory=lambda: LUJobReducer(layout, node),
+        mapper_factory=TaskFactory(LUJobMapper, (layout, node)),
+        reducer_factory=TaskFactory(LUJobReducer, (layout, node)),
         splits=control_splits(layout),
         num_reduce_tasks=m0,
     )

@@ -20,6 +20,7 @@ from ..mapreduce import (
     Mapper,
     Reducer,
     TaskContext,
+    TaskFactory,
 )
 from .invert_job import read_final_inverse
 from .layout import Layout
@@ -64,7 +65,7 @@ class MaxReducer(Reducer):
 def verify_job(layout: Layout) -> JobConf:
     return JobConf(
         name="verify-identity",
-        mapper_factory=lambda: VerifyMapper(layout),
+        mapper_factory=TaskFactory(VerifyMapper, (layout,)),
         reducer_factory=MaxReducer,
         splits=control_splits(layout),
         num_reduce_tasks=1,

@@ -11,6 +11,18 @@ from .counters import Counters
 # HistoryReport/JobSummary moved to repro.telemetry.history; import from the
 # new home directly (the .history shim warns) but keep re-exporting them here.
 from ..telemetry.history import HistoryReport, JobSummary
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialExecutor,
+    TaskSerializationError,
+    TaskTimeoutError,
+    ThreadPoolBackend,
+    WorkerCrashError,
+    available_backends,
+    make_executor,
+    register_backend,
+)
 from .faults import (
     ComposedFaults,
     DelayAttempt,
@@ -21,6 +33,7 @@ from .faults import (
     FailRandomly,
     FaultPolicy,
     InjectedTaskFailure,
+    ScriptedFault,
 )
 from .job import (
     FnMapper,
@@ -29,6 +42,7 @@ from .job import (
     Mapper,
     Reducer,
     TaskContext,
+    TaskFactory,
     default_partitioner,
     splits_for_workers,
 )
@@ -36,7 +50,6 @@ from .master import AttemptFailure, JobFailedError, JobTracker, NodeHealth
 from .pipeline import MasterPhase, Pipeline, PipelineRecord
 from .retry import RetryPolicy
 from .runtime import MapReduceRuntime, RuntimeConfig
-from .worker import TaskTimeoutError
 from .types import (
     InputSplit,
     JobId,
@@ -53,6 +66,7 @@ __all__ = [
     "ComposedFaults",
     "Counters",
     "DelayAttempt",
+    "ExecutionBackend",
     "HistoryReport",
     "JobSummary",
     "FailAlways",
@@ -76,16 +90,26 @@ __all__ = [
     "NodeHealth",
     "Pipeline",
     "PipelineRecord",
+    "ProcessPoolBackend",
     "Reducer",
     "RetryPolicy",
     "RuntimeConfig",
+    "ScriptedFault",
+    "SerialExecutor",
     "TaskAttemptId",
+    "TaskFactory",
+    "TaskSerializationError",
     "TaskTimeoutError",
     "TaskContext",
     "TaskId",
     "TaskKind",
     "TaskState",
     "TaskTrace",
+    "ThreadPoolBackend",
+    "WorkerCrashError",
+    "available_backends",
     "default_partitioner",
+    "make_executor",
+    "register_backend",
     "splits_for_workers",
 ]

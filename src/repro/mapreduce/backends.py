@@ -1,0 +1,592 @@
+"""Execution backends: the pluggable worker pools that run task attempts.
+
+The :class:`ExecutionBackend` protocol is the contract between the
+JobTracker and whatever executes its attempts:
+
+* :meth:`~ExecutionBackend.run_all` runs a wave of thunks and returns
+  results *or raised exceptions* positionally — backends never raise on a
+  task's behalf, the master decides what a failure means;
+* ``in_process`` tells the master whether thunks may capture live driver
+  objects (closures over the DFS) or must be picklable descriptors;
+* ``supports_shared_memory`` advertises that DFS payloads should be
+  exported into shared segments (:mod:`repro.dfs.shm`) for the backend's
+  workers.
+
+Backends register by name in a factory registry (:func:`register_backend`)
+so embedders can plug their own pools in behind :func:`make_executor`
+without touching the engine.
+
+Three built-ins:
+
+* :class:`SerialExecutor` — inline, deterministic; the default for tests
+  and reproducible experiment runs.
+* :class:`ThreadPoolBackend` — a real concurrent pool.  NumPy's BLAS
+  kernels release the GIL, so dense-block work runs in true parallel; the
+  pure-Python shuffle and bookkeeping stay GIL-bound.
+* :class:`ProcessPoolBackend` — a ``multiprocessing`` pool for when the
+  GIL is the bottleneck.  Tasks must be picklable (the process-safety
+  lint, ``repro lint --procsafety``, is the static gate and runs as a
+  pre-flight here); DFS payloads travel via shared memory, not pickles.
+
+Every backend accepts an optional per-attempt ``deadline``, measured from
+*attempt start* (dispatch), never from wave submission — queue-wait behind
+other tasks is the scheduler's fault and is not charged (Hadoop's
+``mapred.task.timeout`` semantics).  A thread attempt that exceeds it is
+abandoned (Python threads cannot be killed) and keeps running harmlessly
+in the background; a process attempt is genuinely killed and its worker
+respawned.  Either way the master sees a :class:`TaskTimeoutError` and
+counts it as an ordinary failure.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import multiprocessing.connection
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+
+class TaskTimeoutError(RuntimeError):
+    """A task attempt exceeded its per-attempt deadline and was abandoned."""
+
+    def __init__(self, deadline: float, detail: str = "") -> None:
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"task attempt exceeded {deadline:.3g}s deadline{suffix}")
+        self.deadline = deadline
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker process died mid-attempt (killed, OOM, hard crash)."""
+
+
+class TaskSerializationError(RuntimeError):
+    """A task (or its result) could not cross the process boundary.
+
+    The static gate for this is ``repro lint --procsafety`` (PS001–PS008);
+    hitting this at runtime usually means a closure, lock, or other live
+    driver object leaked into a task shipped to the processes backend.
+    """
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What the JobTracker requires of a worker pool."""
+
+    #: Parallel width; also the default node count for health tracking.
+    max_workers: int
+    #: Thunks may capture live driver objects (False ⇒ picklable descriptors).
+    in_process: bool
+    #: DFS payloads should be exported via :mod:`repro.dfs.shm`.
+    supports_shared_memory: bool
+
+    def run_all(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        deadline: float | None = None,
+    ) -> list[Any]:
+        """Run every thunk; return results or raised exceptions, positionally."""
+        ...
+
+    def shutdown(self) -> None:
+        """Release pool resources; idempotent."""
+        ...
+
+
+def _run_with_deadline(thunk: Callable[[], Any], deadline: float) -> Any:
+    """Run ``thunk`` on a watchdog thread; give up after ``deadline`` seconds.
+
+    Returns the thunk's result, the exception it raised, or a
+    :class:`TaskTimeoutError` if it is still running at the deadline.  The
+    watchdog thread is a daemon so a permanently hung attempt cannot block
+    interpreter shutdown.
+    """
+    box: list[Any] = []
+
+    def target() -> None:
+        # The join below establishes happens-before for the single append,
+        # and a post-timeout straggler write is never read.
+        try:
+            box.append(thunk())  # lint: ignore[CN008]
+        except Exception as exc:  # collected, not raised: master decides
+            box.append(exc)  # lint: ignore[CN008]
+
+    runner = threading.Thread(target=target, daemon=True)
+    runner.start()
+    runner.join(deadline)
+    if runner.is_alive():
+        return TaskTimeoutError(deadline)
+    return box[0]
+
+
+class SerialExecutor:
+    """Run callables inline, in submission order."""
+
+    max_workers = 1
+    in_process = True
+    supports_shared_memory = False
+
+    def run_all(
+        self, thunks: Sequence[Callable[[], Any]], deadline: float | None = None
+    ) -> list[Any]:
+        """Run every thunk; returns results or raised exceptions, positionally.
+
+        With a ``deadline``, each thunk runs on a watchdog thread so a hung
+        attempt times out instead of stalling the wave forever.
+        """
+        results: list[Any] = []
+        for thunk in thunks:
+            if deadline is not None:
+                results.append(_run_with_deadline(thunk, deadline))
+                continue
+            try:
+                results.append(thunk())
+            except Exception as exc:  # collected, not raised: master decides
+                results.append(exc)
+        return results
+
+    def shutdown(self) -> None:  # noqa: B027 - interface symmetry
+        pass
+
+
+class ThreadPoolBackend:
+    """Run callables on a shared thread pool.
+
+    Deadlines are measured from each attempt's *start* on a pool thread.
+    The collector first waits — uncharged — for the attempt to actually
+    begin, then gives it ``deadline`` seconds of its own; an attempt that
+    never starts because every slot is held by an abandoned hung attempt is
+    cancelled and reported as starved rather than waiting forever.
+    """
+
+    in_process = True
+    supports_shared_memory = False
+
+    #: Collector poll interval while waiting for an attempt to start.
+    _START_POLL_SECONDS = 0.005
+
+    def __init__(self, max_workers: int = 8) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=max_workers)
+
+    def run_all(
+        self, thunks: Sequence[Callable[[], Any]], deadline: float | None = None
+    ) -> list[Any]:
+        if deadline is None:
+            futures = [self._pool.submit(t) for t in thunks]
+            out: list[Any] = []
+            for fut in futures:
+                try:
+                    out.append(fut.result())
+                except Exception as exc:
+                    out.append(exc)
+            return out
+        return self._run_all_with_deadline(thunks, deadline)
+
+    def _run_all_with_deadline(
+        self, thunks: Sequence[Callable[[], Any]], deadline: float
+    ) -> list[Any]:
+        n = len(thunks)
+        started = [0.0] * n
+        start_events = [threading.Event() for _ in range(n)]
+
+        def wrap(i: int, thunk: Callable[[], Any]) -> Callable[[], Any]:
+            def attempt() -> Any:
+                # Single writer per slot; the event's set() publishes the
+                # timestamp to the collector (happens-before via Event).
+                started[i] = time.perf_counter()  # lint: ignore[CN008]
+                start_events[i].set()
+                return thunk()
+
+            return attempt
+
+        futures = [
+            self._pool.submit(wrap(i, t)) for i, t in enumerate(thunks)
+        ]
+        results: list[Any] = []
+        abandoned = 0
+        for i, fut in enumerate(futures):
+            # Queue wait is uncharged: poll until the attempt starts.  If
+            # every pool slot is held by an attempt we already abandoned,
+            # the queue can be wedged forever — cancel and report starvation
+            # instead of hanging the wave.
+            while not start_events[i].wait(timeout=self._START_POLL_SECONDS):
+                if abandoned >= self.max_workers and fut.cancel():
+                    break
+            if fut.cancelled():
+                results.append(
+                    TaskTimeoutError(
+                        deadline, detail="starved: pool wedged by hung attempts"
+                    )
+                )
+                continue
+            remaining = deadline - (time.perf_counter() - started[i])
+            try:
+                results.append(fut.result(timeout=max(remaining, 0.0)))
+            except concurrent.futures.TimeoutError:
+                # The attempt itself blew its deadline.  Threads cannot be
+                # killed: abandon it (it keeps running; its result is
+                # discarded, which is safe because attempt side effects are
+                # idempotent per-attempt staging files).
+                fut.cancel()
+                abandoned += 1
+                results.append(TaskTimeoutError(deadline))
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# -- process pool -------------------------------------------------------------
+
+
+def _worker_main(conn, shared_tracker: bool) -> None:
+    """Child-process loop: receive ``(seq, payload)``, execute, send back.
+
+    The payload is either a picklable zero-argument callable or a
+    :class:`~repro.mapreduce.remote.RemoteTask` descriptor.  A forked child
+    inherits the driver's ambient tracer (and its exporters' file handles!)
+    — the first thing the loop does is force the null tracer so child-side
+    DFS-view operations never write to driver-owned sinks.
+    """
+    from ..dfs import shm
+    from ..telemetry import spans
+    from .remote import RemoteTask, execute_remote_task
+
+    spans.activate(spans.NULL_TRACER)
+    shm.set_child_tracker_shared(shared_tracker)
+    segments: dict[str, Any] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        seq, payload = message
+        try:
+            if isinstance(payload, RemoteTask):
+                value = execute_remote_task(payload, segments)
+            else:
+                value = payload()
+            reply = ("ok", seq, value)
+        except Exception as exc:
+            reply = ("err", seq, exc)
+        try:
+            conn.send(reply)
+        except Exception as exc:
+            try:
+                conn.send(
+                    (
+                        "err",
+                        seq,
+                        TaskSerializationError(
+                            f"task {seq} result could not be pickled back "
+                            f"to the driver: {exc!r}"
+                        ),
+                    )
+                )
+            except Exception:  # pragma: no cover - driver side went away
+                break
+    # Drop cyclic garbage that may still pin zero-copy views onto the
+    # segments (e.g. a task's decode view caught in an uncollected cycle)
+    # before detaching, so close() never sees exported pointers.
+    import gc
+
+    gc.collect()
+    for seg in segments.values():
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - a view escaped anyway
+            pass
+    conn.close()
+
+
+class _Worker:
+    """One live pool worker: its process and the driver end of its pipe."""
+
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+
+
+class ProcessPoolBackend:
+    """Run picklable tasks on a pool of persistent worker processes.
+
+    One pending task per worker, dispatched over a dedicated pipe, so an
+    attempt's deadline runs from the moment it is handed to an idle worker.
+    A timed-out attempt is *really killed* — ``terminate()`` on the worker,
+    which is replaced lazily — unlike thread backends, which can only
+    abandon hung attempts.  A worker that dies mid-attempt surfaces as a
+    :class:`WorkerCrashError` for that task and the pool self-heals.
+
+    Construction runs the process-safety lint (``repro lint --procsafety``)
+    over the engine once per process as a pre-flight gate; tasks that still
+    fail to pickle at dispatch surface as :class:`TaskSerializationError`
+    results for exactly the affected tasks.
+    """
+
+    in_process = False
+    supports_shared_memory = True
+
+    def __init__(
+        self,
+        max_workers: int = 8,
+        *,
+        start_method: str | None = None,
+        preflight: bool = True,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if preflight:
+            ensure_process_safety()
+        self.max_workers = max_workers
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            # fork is dramatically cheaper per worker and shares the
+            # driver's resource tracker; _worker_main neutralizes the two
+            # fork hazards (inherited tracer/exporters) explicitly.
+            start_method = "fork" if "fork" in methods else "spawn"
+        elif start_method not in methods:
+            raise ValueError(
+                f"start method {start_method!r} unavailable (have {methods})"
+            )
+        self._start_method = start_method
+        self._ctx = multiprocessing.get_context(start_method)
+        # Start the shared resource tracker *before* the first fork so
+        # every forked child inherits it (see repro.dfs.shm docstring).
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        self._workers: list[_Worker | None] = [None] * max_workers
+        self._closed = False
+
+    # -- worker lifecycle -----------------------------------------------------
+
+    def _ensure_worker(self, slot: int) -> _Worker:
+        worker = self._workers[slot]
+        if worker is not None and worker.proc.is_alive():
+            return worker
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._start_method == "fork"),
+            daemon=True,
+            name=f"repro-pool-{slot}",
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(proc, parent_conn)
+        self._workers[slot] = worker
+        return worker
+
+    def _dispose_worker(self, slot: int, *, kill: bool) -> None:
+        worker = self._workers[slot]
+        if worker is None:
+            return
+        self._workers[slot] = None
+        if kill and worker.proc.is_alive():
+            worker.proc.terminate()
+        worker.proc.join(timeout=5.0)
+        worker.conn.close()
+
+    @staticmethod
+    def _scrub_result_segment(thunk: Any) -> None:
+        """After killing a worker, unlink the result segment its task may
+        have created but never handed over."""
+        name = getattr(thunk, "result_segment", None)
+        if name:
+            from ..dfs.shm import destroy_segment
+
+            destroy_segment(name)
+
+    # -- execution ------------------------------------------------------------
+
+    def run_all(
+        self, thunks: Sequence[Callable[[], Any]], deadline: float | None = None
+    ) -> list[Any]:
+        if self._closed:
+            raise RuntimeError("backend is shut down")
+        n = len(thunks)
+        results: list[Any] = [None] * n
+        pending = deque(range(n))
+        inflight: dict[int, tuple[int, float]] = {}  # slot -> (task, start)
+        while pending or inflight:
+            free = [
+                s
+                for s in range(self.max_workers)
+                if s not in inflight
+            ]
+            for slot in free:
+                if not pending:
+                    break
+                idx = pending.popleft()
+                try:
+                    worker = self._ensure_worker(slot)
+                    worker.conn.send((idx, thunks[idx]))
+                except Exception as exc:
+                    # Connection.send pickles before writing any bytes, so a
+                    # pickling failure leaves the worker clean and fails only
+                    # this task.
+                    results[idx] = TaskSerializationError(
+                        f"task could not be shipped to a worker process: "
+                        f"{exc!r}; run `python -m repro lint --procsafety` "
+                        f"to find the unpicklable capture"
+                    )
+                    continue
+                inflight[slot] = (idx, time.perf_counter())
+            if not inflight:
+                continue
+            timeout = None
+            if deadline is not None:
+                now = time.perf_counter()
+                timeout = max(
+                    0.0,
+                    min(start for _, start in inflight.values())
+                    + deadline
+                    - now,
+                )
+            conn_to_slot = {
+                self._workers[slot].conn: slot for slot in inflight
+            }
+            ready = multiprocessing.connection.wait(
+                list(conn_to_slot), timeout=timeout
+            )
+            for conn in ready:
+                slot = conn_to_slot[conn]
+                idx, _start = inflight.pop(slot)
+                try:
+                    _tag, _seq, value = conn.recv()
+                except (EOFError, OSError):
+                    exitcode = self._workers[slot].proc.exitcode
+                    results[idx] = WorkerCrashError(
+                        f"worker process died mid-attempt "
+                        f"(exit code {exitcode})"
+                    )
+                    self._dispose_worker(slot, kill=False)
+                    self._scrub_result_segment(thunks[idx])
+                    continue
+                results[idx] = value
+            if deadline is not None:
+                now = time.perf_counter()
+                for slot, (idx, start) in list(inflight.items()):
+                    if now - start >= deadline:
+                        del inflight[slot]
+                        # A real kill, not an abandoned thread: terminate
+                        # the worker and replace it at next dispatch.
+                        self._dispose_worker(slot, kill=True)
+                        self._scrub_result_segment(thunks[idx])
+                        results[idx] = TaskTimeoutError(
+                            deadline, detail="attempt killed"
+                        )
+        return results
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(None)
+            except Exception:
+                pass
+        # Graceful first (workers detach their shared segments on the
+        # sentinel), escalate to kill only for wedged workers.
+        for worker in self._workers:
+            if worker is not None:
+                worker.proc.join(timeout=5.0)
+        for slot in range(self.max_workers):
+            self._dispose_worker(slot, kill=True)
+
+
+# -- process-safety pre-flight -------------------------------------------------
+
+_PREFLIGHT_PASSED = False
+
+
+def ensure_process_safety() -> None:
+    """Run ``repro lint --procsafety`` over the engine before the first
+    process pool is built (memoized per process).
+
+    Raises ``RuntimeError`` listing the findings if the sweep is not clean:
+    shipping task code with process-safety defects produces pickle errors
+    or silent state divergence that is far harder to diagnose at runtime.
+    """
+    global _PREFLIGHT_PASSED
+    if _PREFLIGHT_PASSED:
+        return
+    from ..analysis.procsafety import (
+        analyze_procsafety_files,
+        default_procsafety_files,
+    )
+
+    findings = analyze_procsafety_files(default_procsafety_files())
+    if findings:
+        shown = "; ".join(str(f) for f in findings[:5])
+        raise RuntimeError(
+            f"process-safety pre-flight failed with {len(findings)} "
+            f"finding(s): {shown} — run `python -m repro lint --procsafety`"
+        )
+    _PREFLIGHT_PASSED = True
+
+
+# -- registry ------------------------------------------------------------------
+
+_BACKENDS: dict[str, Callable[[int], ExecutionBackend]] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[int], ExecutionBackend],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register ``factory(max_workers) -> backend`` under ``name``."""
+    if not replace and name in _BACKENDS:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def make_executor(kind: str, max_workers: int = 8) -> ExecutionBackend:
+    """Factory keyed by registered name (``serial``/``threads``/``processes``
+    plus anything added via :func:`register_backend`)."""
+    factory = _BACKENDS.get(kind)
+    if factory is None:
+        known = ", ".join(repr(name) for name in available_backends())
+        raise ValueError(f"unknown executor kind {kind!r} (use one of {known})")
+    return factory(max_workers)
+
+
+register_backend("serial", lambda max_workers: SerialExecutor())
+register_backend("threads", ThreadPoolBackend)
+register_backend("processes", ProcessPoolBackend)
+
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialExecutor",
+    "TaskSerializationError",
+    "TaskTimeoutError",
+    "ThreadPoolBackend",
+    "WorkerCrashError",
+    "available_backends",
+    "ensure_process_safety",
+    "make_executor",
+    "register_backend",
+]

@@ -41,6 +41,19 @@ class Counters:
             lambda: defaultdict(int)
         )
 
+    def __getstate__(self) -> dict[str, dict[str, int]]:
+        """Pickle as a plain nested dict: the lock (unpicklable) and the
+        defaultdict factories are reconstructed on load, so counter objects
+        can cross the process boundary in task results."""
+        return self.as_dict()
+
+    def __setstate__(self, state: dict[str, dict[str, int]]) -> None:
+        self.__init__()
+        with self._lock:
+            for group, names in state.items():
+                for name, value in names.items():
+                    self._groups[group][name] = value
+
     def increment(self, group: str, name: str, amount: int = 1) -> None:
         with self._lock:
             self._groups[group][name] += amount

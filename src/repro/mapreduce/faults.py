@@ -37,6 +37,56 @@ class FaultPolicy:
         if self.should_fail_at(attempt, node):
             raise InjectedTaskFailure(f"injected failure of {attempt} on node {node}")
 
+    def plan(
+        self, attempt: TaskAttemptId, node: int | None = None
+    ) -> "ScriptedFault":
+        """Pre-compute this attempt's fault directive for out-of-process
+        dispatch.
+
+        Stateful policies (RNG draws, fire-once sets) consume their state
+        *here, driver-side* — exactly once per attempt, matching what
+        :meth:`maybe_fail` would have consumed in-process — and the worker
+        receives only the frozen, picklable :class:`ScriptedFault` verdict.
+        Shipping the policy object itself would fork its state per worker
+        (a retried :class:`FailRandomly` would repeat the same draw every
+        wave, turning a flaky task into a permanently failing one).
+        """
+        if self.should_fail_at(attempt, node):
+            return ScriptedFault(
+                fail=True,
+                message=f"injected failure of {attempt} on node {node}",
+            )
+        return ScriptedFault()
+
+
+@dataclass(frozen=True)
+class ScriptedFault(FaultPolicy):
+    """A frozen, picklable fault directive computed by the driver.
+
+    This is the only fault object that crosses the process boundary: the
+    master calls :meth:`FaultPolicy.plan` at dispatch and ships the verdict
+    — an optional hang followed by an optional failure — so workers never
+    hold locks, RNGs, or fire-once state.
+    """
+
+    delay_seconds: float = 0.0
+    fail: bool = False
+    message: str = ""
+
+    def maybe_fail(self, attempt: TaskAttemptId, node: int | None = None) -> None:
+        if self.delay_seconds > 0:
+            time.sleep(self.delay_seconds)
+        if self.fail:
+            raise InjectedTaskFailure(
+                self.message
+                or f"injected failure of {attempt} on node {node}"
+            )
+
+    def plan(
+        self, attempt: TaskAttemptId, node: int | None = None
+    ) -> "ScriptedFault":
+        return self
+
 
 @dataclass
 class FailNever(FaultPolicy):
@@ -171,6 +221,13 @@ class DelayAttempt(FaultPolicy):
         if self.should_delay(attempt):
             time.sleep(self.seconds)
 
+    def plan(
+        self, attempt: TaskAttemptId, node: int | None = None
+    ) -> ScriptedFault:
+        if self.should_delay(attempt):
+            return ScriptedFault(delay_seconds=self.seconds)
+        return ScriptedFault()
+
 
 class ComposedFaults(FaultPolicy):
     """Apply several fault policies in order (chaos schedules compose faults).
@@ -199,3 +256,19 @@ class ComposedFaults(FaultPolicy):
     def maybe_fail(self, attempt: TaskAttemptId, node: int | None = None) -> None:
         for policy in self.policies:
             policy.maybe_fail(attempt, node)
+
+    def plan(
+        self, attempt: TaskAttemptId, node: int | None = None
+    ) -> ScriptedFault:
+        # Mirror maybe_fail's order: delays accumulate until the first
+        # policy that would raise; later policies never get consulted
+        # in-process either, so their state is not consumed here.
+        delay = 0.0
+        for policy in self.policies:
+            directive = policy.plan(attempt, node)
+            delay += directive.delay_seconds
+            if directive.fail:
+                return ScriptedFault(
+                    delay_seconds=delay, fail=True, message=directive.message
+                )
+        return ScriptedFault(delay_seconds=delay)

@@ -311,6 +311,23 @@ def splits_for_workers(num_workers: int) -> list[InputSplit]:
     return [InputSplit(index=i, payload=i) for i in range(num_workers)]
 
 
+@dataclass(frozen=True)
+class TaskFactory:
+    """A picklable zero-argument factory: ``cls`` bound to ``args``.
+
+    The lambda-free replacement for ``lambda: SomeMapper(layout)`` in job
+    confs — lambdas cannot cross the process boundary, so every pipeline
+    factory uses this instead.  Instantiates a fresh object per call, same
+    as Hadoop's per-task instantiation contract.
+    """
+
+    cls: type
+    args: tuple = ()
+
+    def __call__(self):
+        return self.cls(*self.args)
+
+
 class FnMapper(Mapper):
     """Adapter turning a plain function ``fn(ctx, split)`` into a Mapper."""
 

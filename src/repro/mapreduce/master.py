@@ -63,7 +63,7 @@ from .types import (
     TaskId,
     TaskKind,
 )
-from .worker import SerialExecutor, TaskTimeoutError, ThreadPoolBackend
+from .backends import ExecutionBackend, TaskTimeoutError
 
 
 @dataclass(frozen=True)
@@ -244,7 +244,7 @@ class JobTracker:
     def __init__(
         self,
         dfs: DFS,
-        executor: SerialExecutor | ThreadPoolBackend,
+        executor: ExecutionBackend,
         fault_policy: FaultPolicy | None = None,
         speculative: bool = False,
         num_nodes: int | None = None,
@@ -260,6 +260,88 @@ class JobTracker:
             max_failures=max_node_failures,
             blacklist_window=blacklist_window,
         )
+        #: Lazily-built shared-memory exporter for out-of-process backends
+        #: (:class:`~repro.dfs.shm.ShmExporter`); segments live for the
+        #: tracker's lifetime and are retired by :meth:`shutdown`.
+        self._exporter = None
+
+    def shutdown(self) -> None:
+        """Retire tracker-owned resources (shared-memory exports)."""
+        if self._exporter is not None:
+            self._exporter.close()
+            self._exporter = None
+
+    def _export_namespace(self):
+        """Sync the sealed namespace into shared segments (out-of-process
+        dispatch); generation-keyed, so unchanged files are free."""
+        if self._exporter is None:
+            from ..dfs.shm import ShmExporter
+
+            self._exporter = ShmExporter(self.dfs)
+        return self._exporter.sync()
+
+    def _absorb_remote(
+        self,
+        outcome: Any,
+        idx: int,
+        attempt_id: TaskAttemptId,
+        node: int,
+        kind: TaskKind,
+        tracer: Tracer | NullTracer,
+        wave_span: Span | None,
+        attempt_spans: dict[tuple[int, int], Span],
+    ) -> Any:
+        """Land one out-of-process outcome: replay its write-back through the
+        accounted DFS paths and record the attempt's TASK span driver-side.
+
+        Mirrors the in-process thunk contract — returns the attempt result
+        on success and the exception object on failure, so the wave's
+        outcome loop (publish winner / discard staging / node health) is
+        backend-agnostic.  DFS_WRITE spans emitted during the replay nest
+        under the TASK span via the ambient context.
+        """
+        from .remote import materialize_remote_outcome
+
+        if wave_span is None:
+            if isinstance(outcome, Exception):
+                return outcome
+            try:
+                materialize_remote_outcome(self.dfs, outcome)
+            except Exception as exc:  # noqa: BLE001 - becomes attempt failure
+                return exc
+            return outcome.result
+        try:
+            with tracer.span(
+                str(attempt_id),
+                SpanKind.TASK,
+                parent=wave_span,
+                attrs={
+                    "task": idx,
+                    "attempt": attempt_id.attempt,
+                    "node": node,
+                    "phase": kind.value,
+                },
+            ) as tspan:
+                attempt_spans[(idx, attempt_id.attempt)] = tspan
+                if isinstance(outcome, Exception):
+                    raise outcome
+                materialize_remote_outcome(self.dfs, outcome)
+                trace = outcome.result.trace
+                tspan.set(
+                    bytes_read=trace.bytes_read,
+                    bytes_written=trace.bytes_written,
+                    bytes_shuffled=trace.bytes_shuffled,
+                    flops=trace.flops,
+                )
+        except Exception as exc:  # noqa: BLE001 - becomes attempt failure
+            return exc
+        # The attempt already ran in a child; stretch the span back so its
+        # duration covers the attempt's wall clock, not just the replay.
+        if tspan.end is not None:
+            tspan.start = min(
+                tspan.start, tspan.end - outcome.result.trace.wall_seconds
+            )
+        return outcome.result
 
     # -- generic phase runner --------------------------------------------------
 
@@ -292,6 +374,14 @@ class JobTracker:
         # Tell name-aware fault policies which job is running.
         if hasattr(self.fault_policy, "job_name"):
             self.fault_policy.job_name = conf.name
+
+        # Out-of-process backends get picklable descriptors instead of
+        # closures; fail fast (with the procsafety pointer) if they can't.
+        in_process = getattr(self.executor, "in_process", True)
+        if not in_process:
+            from .remote import ensure_remote_runnable
+
+            ensure_remote_runnable(conf)
 
         policy = conf.retry_policy
         deadline = policy.attempt_deadline if policy is not None else None
@@ -338,10 +428,10 @@ class JobTracker:
                         "phase": kind.value,
                     },
                 ) as tspan:
-                    # Thread-backend-only: thunks stay in-process, so the
-                    # captured lock is shareable.  The ProcessPoolBackend
-                    # will ship (conf, split) descriptors instead of these
-                    # closures and record spans worker-side (ROADMAP).
+                    # In-process backends only: these closures never cross a
+                    # process boundary, so the captured lock is shareable.
+                    # The ProcessPoolBackend path ships RemoteTask
+                    # descriptors instead and records spans driver-side.
                     with spans_lock:  # lint: ignore[PS007]
                         attempt_spans[(idx, attempt_id.attempt)] = tspan
                     out = run_one(item, attempt_id, node)
@@ -402,12 +492,39 @@ class JobTracker:
                 else nullcontext(None)
             )
             with wave_ctx as wave_span:
-                thunks = [
-                    make_thunk(idx, attempt_id, node, wave_span)
-                    for idx, attempt_id, node in wave
-                ]
+                if in_process:
+                    thunks = [
+                        make_thunk(idx, attempt_id, node, wave_span)
+                        for idx, attempt_id, node in wave
+                    ]
+                else:
+                    from .remote import RemoteTask
+
+                    manifest = self._export_namespace()
+                    thunks = [
+                        RemoteTask(
+                            kind=kind,
+                            conf=conf,
+                            item=work_items[idx],
+                            attempt_id=attempt_id,
+                            node=node,
+                            fault=self.fault_policy.plan(attempt_id, node),
+                            manifest=manifest,
+                        )
+                        for idx, attempt_id, node in wave
+                    ]
                 stats.launched += len(thunks)
                 outcomes = self.executor.run_all(thunks, deadline=deadline)
+                if not in_process:
+                    outcomes = [
+                        self._absorb_remote(
+                            outcome, idx, attempt_id, node, kind,
+                            tracer, wave_span, attempt_spans,
+                        )
+                        for (idx, attempt_id, node), outcome in zip(
+                            wave, outcomes
+                        )
+                    ]
             wave_no += 1
             self.node_health.tick()
 

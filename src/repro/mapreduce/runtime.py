@@ -33,8 +33,8 @@ from ..telemetry.spans import SpanKind
 from .faults import FaultPolicy
 from .job import JobConf
 from .master import JobFailedError, JobTracker
+from .backends import make_executor
 from .types import JobId, JobResult
-from .worker import make_executor
 
 
 @dataclass
@@ -42,7 +42,7 @@ class RuntimeConfig:
     """Knobs of a simulated Hadoop deployment."""
 
     num_workers: int = 4
-    executor: str = "serial"  # "serial" | "threads"
+    executor: str = "serial"  # "serial" | "threads" | "processes"
     job_launch_overhead: float = 1.0  # simulated seconds per job (Section 5)
     speculative: bool = False
     #: Run a DFS repair pass before a job when the topology changed
@@ -161,6 +161,7 @@ class MapReduceRuntime:
         return self.config.job_launch_overhead * len(self.history)
 
     def shutdown(self) -> None:
+        self._tracker.shutdown()
         self._executor.shutdown()
 
     def __enter__(self) -> "MapReduceRuntime":

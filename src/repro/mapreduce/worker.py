@@ -1,128 +1,37 @@
-"""Worker-pool backends that execute task attempts.
+"""Deprecated alias of :mod:`repro.mapreduce.backends`.
 
-Two backends:
-
-* :class:`SerialExecutor` — runs attempts inline, deterministic ordering;
-  the default for tests and reproducible experiment runs.
-* :class:`ThreadPoolBackend` — a real concurrent pool.  NumPy's BLAS kernels
-  release the GIL, so the dense-block work that dominates every task runs in
-  true parallel.  Process pools are deliberately not offered: the DFS is an
-  in-process object shared by reference, and shipping it across process
-  boundaries would silently change the I/O accounting the experiments rely on.
-
-Both backends accept an optional per-attempt ``deadline``: an attempt that
-exceeds it is abandoned and reported as a :class:`TaskTimeoutError`, which the
-JobTracker counts as an ordinary failure (Hadoop's ``mapred.task.timeout``).
-Python threads cannot be killed, so an abandoned attempt keeps running in the
-background until it returns on its own — its result is discarded, which is
-safe because task side effects are idempotent (each attempt writes to
-deterministic per-task files, Section 5.2).
+The executor classes moved behind the :class:`~repro.mapreduce.backends.
+ExecutionBackend` protocol and its ``register_backend`` registry; this
+module re-exports the old names so existing imports keep working.  New
+code should import from :mod:`repro.mapreduce.backends` (or the package
+root) directly.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import threading
-from typing import Any, Callable, Sequence
+from .backends import (  # noqa: F401 - re-exports for compatibility
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialExecutor,
+    TaskSerializationError,
+    TaskTimeoutError,
+    ThreadPoolBackend,
+    WorkerCrashError,
+    _run_with_deadline,
+    available_backends,
+    make_executor,
+    register_backend,
+)
 
-
-class TaskTimeoutError(RuntimeError):
-    """A task attempt exceeded its per-attempt deadline and was abandoned."""
-
-    def __init__(self, deadline: float, detail: str = "") -> None:
-        suffix = f" ({detail})" if detail else ""
-        super().__init__(f"task attempt exceeded {deadline:.3g}s deadline{suffix}")
-        self.deadline = deadline
-
-
-def _run_with_deadline(thunk: Callable[[], Any], deadline: float) -> Any:
-    """Run ``thunk`` on a watchdog thread; give up after ``deadline`` seconds.
-
-    Returns the thunk's result, the exception it raised, or a
-    :class:`TaskTimeoutError` if it is still running at the deadline.  The
-    watchdog thread is a daemon so a permanently hung attempt cannot block
-    interpreter shutdown.
-    """
-    box: list[Any] = []
-
-    def target() -> None:
-        # The join below establishes happens-before for the single append,
-        # and a post-timeout straggler write is never read.
-        try:
-            box.append(thunk())  # lint: ignore[CN008]
-        except Exception as exc:  # collected, not raised: master decides
-            box.append(exc)  # lint: ignore[CN008]
-
-    runner = threading.Thread(target=target, daemon=True)
-    runner.start()
-    runner.join(deadline)
-    if runner.is_alive():
-        return TaskTimeoutError(deadline)
-    return box[0]
-
-
-class SerialExecutor:
-    """Run callables inline, in submission order."""
-
-    max_workers = 1
-
-    def run_all(
-        self, thunks: Sequence[Callable[[], Any]], deadline: float | None = None
-    ) -> list[Any]:
-        """Run every thunk; returns results or raised exceptions, positionally.
-
-        With a ``deadline``, each thunk runs on a watchdog thread so a hung
-        attempt times out instead of stalling the wave forever.
-        """
-        results: list[Any] = []
-        for thunk in thunks:
-            if deadline is not None:
-                results.append(_run_with_deadline(thunk, deadline))
-                continue
-            try:
-                results.append(thunk())
-            except Exception as exc:  # collected, not raised: master decides
-                results.append(exc)
-        return results
-
-    def shutdown(self) -> None:  # noqa: B027 - interface symmetry
-        pass
-
-
-class ThreadPoolBackend:
-    """Run callables on a shared thread pool."""
-
-    def __init__(self, max_workers: int = 8) -> None:
-        if max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
-        self.max_workers = max_workers
-        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=max_workers)
-
-    def run_all(
-        self, thunks: Sequence[Callable[[], Any]], deadline: float | None = None
-    ) -> list[Any]:
-        futures = [self._pool.submit(t) for t in thunks]
-        results: list[Any] = []
-        for fut in futures:
-            try:
-                results.append(fut.result(timeout=deadline))
-            except concurrent.futures.TimeoutError:
-                # The attempt (or the queue wait for its slot — starvation by
-                # earlier hung attempts also counts) blew the deadline.
-                fut.cancel()
-                results.append(TaskTimeoutError(deadline or 0.0))
-            except Exception as exc:
-                results.append(exc)
-        return results
-
-    def shutdown(self) -> None:
-        self._pool.shutdown(wait=True)
-
-
-def make_executor(kind: str, max_workers: int = 8) -> SerialExecutor | ThreadPoolBackend:
-    """Factory keyed by name: ``"serial"`` or ``"threads"``."""
-    if kind == "serial":
-        return SerialExecutor()
-    if kind == "threads":
-        return ThreadPoolBackend(max_workers=max_workers)
-    raise ValueError(f"unknown executor kind {kind!r} (use 'serial' or 'threads')")
+__all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialExecutor",
+    "TaskSerializationError",
+    "TaskTimeoutError",
+    "ThreadPoolBackend",
+    "WorkerCrashError",
+    "available_backends",
+    "make_executor",
+    "register_backend",
+]

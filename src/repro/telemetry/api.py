@@ -83,6 +83,16 @@ class TraceConfig:
             self._tracer = Tracer(trace_id=self.trace_id, exporters=exporters)
         return self._tracer
 
+    def __getstate__(self) -> dict:
+        # The cached tracer is a live driver-side object (locks, exporter
+        # sinks) that must never cross a process boundary; a pickled config
+        # stays declarative and re-creates its tracer lazily.  Workers run
+        # under the no-op tracer regardless — spans for remote attempts are
+        # recorded driver-side.
+        state = self.__dict__.copy()
+        state["_tracer"] = None
+        return state
+
 
 def resolve_tracer(config: "TraceConfig | None") -> "Tracer | NullTracer":
     """The tracer a component should emit into: the config's own tracer when

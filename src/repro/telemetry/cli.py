@@ -121,7 +121,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--m0", type=int, default=4, help="workers per job")
     parser.add_argument("--seed", type=int, default=0, help="input matrix seed")
     parser.add_argument(
-        "--executor", choices=("serial", "threads"), default="serial"
+        "--executor", choices=("serial", "threads", "processes"), default="serial"
     )
     parser.add_argument(
         "--jsonl", metavar="PATH", help="also stream spans to PATH as JSON lines"
