@@ -15,14 +15,18 @@ test:
 test-processes:
 	$(PYTHON) -m pytest tests/test_backends_conformance.py tests/test_process_backend.py
 
-# Static analysis. The repro linter (plan dataflow + mapper/reducer purity
-# + lock discipline + process safety) needs only the runtime deps; ruff and
-# mypy run when installed (dev extras) and are skipped with a notice
-# otherwise, so `make lint` works everywhere.  The self-check seeds defects
-# through every analyzer; lint_summary.py then sweeps the real code with
-# all of them and prints one findings table per rule family.
+# Static analysis. The repro linter (plan dataflow + block DAG/barrier
+# slack + mapper/reducer purity + lock discipline + process safety) needs
+# only the runtime deps; ruff and mypy run when installed (dev extras) and
+# are skipped with a notice otherwise, so `make lint` works everywhere.
+# The self-check seeds defects through every analyzer; lint_summary.py then
+# sweeps the real code with all of them and prints one findings table per
+# rule family; check_threaded_modules.py fails the build if a rename
+# silently dropped a module from the CN sweep.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint --self-check
+	PYTHONPATH=src $(PYTHON) scripts/check_threaded_modules.py
+	PYTHONPATH=src $(PYTHON) -m repro lint --dataflow --report
 	PYTHONPATH=src $(PYTHON) scripts/lint_summary.py
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests examples; \

@@ -17,10 +17,14 @@ What the numbers mean:
   per attempt is IPC + pickle of the staged outputs only.
 
 The acceptance gate (processes >= 1.3x over serial) is a *parallelism*
-claim, so it is only asserted when the host actually has multiple cores.
-On a single-core host the process pool pays its IPC overhead with no
-parallel speedup available to buy it back; the report records the host's
-``cpu_count`` and marks the gate as skipped rather than pretending.
+claim, so it is only asserted when this process can actually run on
+multiple cores.  ``os.cpu_count()`` alone lies about that: a CI runner may
+expose 64 cores while pinning the job to one via CPU affinity, so the
+report records the *schedulable* core count too (``os.process_cpu_count()``
+on 3.13+, the affinity mask before that) and gates on it.  On a
+single-core run the process pool pays its IPC overhead with no parallel
+speedup available to buy it back; the gate is marked skipped — naming the
+recorded value — rather than pretending.
 
 Usage::
 
@@ -45,6 +49,21 @@ from repro.mapreduce import MapReduceRuntime, RuntimeConfig
 
 SPEEDUP_TARGET = 1.3
 EXECUTORS = ("serial", "threads", "processes")
+
+
+def schedulable_cpus() -> tuple[int, str]:
+    """Cores this process may actually run on, and where the number came
+    from — ``os.cpu_count()`` ignores affinity masks and cgroup pinning."""
+    process_cpu_count = getattr(os, "process_cpu_count", None)  # 3.13+
+    if process_cpu_count is not None:
+        count = process_cpu_count()
+        if count:
+            return count, "os.process_cpu_count()"
+    if hasattr(os, "sched_getaffinity"):
+        count = len(os.sched_getaffinity(0))
+        if count:
+            return count, "os.sched_getaffinity(0)"
+    return os.cpu_count() or 1, "os.cpu_count()"
 
 
 def run_once(a: np.ndarray, *, nb: int, m0: int, executor: str, workers: int):
@@ -93,6 +112,7 @@ def main(argv=None) -> int:
         args.n, args.nb, args.m0, args.reps = 128, 32, 8, 1
 
     cpu_count = os.cpu_count() or 1
+    process_cpus, cpus_source = schedulable_cpus()
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((args.n, args.n)) + args.n * np.eye(args.n)
 
@@ -113,11 +133,12 @@ def main(argv=None) -> int:
     }
 
     correct = all(r < 1e-6 for r in residuals.values())
-    multi_core = cpu_count > 1
+    multi_core = process_cpus > 1
     if multi_core:
         gate = {
             "applied": True,
-            "reason": f"{cpu_count} cores available",
+            "reason": f"process_cpu_count={process_cpus} schedulable "
+            f"core(s) via {cpus_source} (os.cpu_count()={cpu_count})",
             "passed": speedups["processes"] >= SPEEDUP_TARGET,
         }
     else:
@@ -126,15 +147,21 @@ def main(argv=None) -> int:
         # than fail (or fake) it.
         gate = {
             "applied": False,
-            "reason": "single-core host: parallel speedup unavailable, "
-            "gate skipped; wall-clock numbers record the IPC overhead",
+            "reason": f"process_cpu_count={process_cpus} schedulable "
+            f"core(s) via {cpus_source} (os.cpu_count()={cpu_count}): "
+            "parallel speedup unavailable, gate skipped; wall-clock "
+            "numbers record the IPC overhead",
             "passed": None,
         }
     passed = correct and (gate["passed"] is not False)
 
     report = {
         "benchmark": "execution_backends",
-        "host": {"cpu_count": cpu_count},
+        "host": {
+            "cpu_count": cpu_count,
+            "process_cpu_count": process_cpus,
+            "process_cpu_count_source": cpus_source,
+        },
         "config": {
             "n": args.n, "nb": args.nb, "m0": args.m0,
             "workers": args.workers, "reps": args.reps,
@@ -159,7 +186,11 @@ def main(argv=None) -> int:
             f"({speedups[executor]:.2f}x vs serial, "
             f"residual {residuals[executor]:.2e})"
         )
-    print(f"host cpu_count={cpu_count}; gate: {gate['reason']}")
+    print(
+        f"host cpu_count={cpu_count} "
+        f"process_cpu_count={process_cpus} ({cpus_source}); "
+        f"gate: {gate['reason']}"
+    )
     print(f"{'PASS' if passed else 'FAIL'} -> {out}")
     return 0 if passed else 1
 

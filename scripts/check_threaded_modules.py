@@ -1,0 +1,38 @@
+"""Guard: every module in THREADED_MODULES must exist on disk.
+
+Usage:  PYTHONPATH=src python scripts/check_threaded_modules.py
+
+The concurrency sweep (``python -m repro lint --concurrency``) analyzes the
+modules listed in :data:`repro.analysis.THREADED_MODULES`.  A rename that
+misses the list would silently shrink the sweep — the analyzer has nothing
+to read, so the lint keeps passing while checking less.  ``make lint`` runs
+this script to turn that silence into a failure.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis import THREADED_MODULES, missing_threaded_modules  # noqa: E402
+
+
+def main() -> int:
+    missing = missing_threaded_modules()
+    if missing:
+        print(
+            f"{len(missing)} of {len(THREADED_MODULES)} THREADED_MODULES "
+            "entries missing on disk (renamed without updating the list?):"
+        )
+        for rel in missing:
+            print(f"  src/repro/{rel}")
+        return 1
+    print(f"all {len(THREADED_MODULES)} THREADED_MODULES entries exist")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

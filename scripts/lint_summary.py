@@ -2,9 +2,12 @@
 
 Usage:  PYTHONPATH=src python scripts/lint_summary.py
 
-Four sweeps, one line each:
+Five sweeps, one line each:
 
 * **PL** — plan dataflow rules at the acceptance configuration.
+* **DF** — block-dataflow defect rules (write-before-read, dead blocks,
+  redundant reads, cycles, generation order) over the acceptance plan's
+  block DAG.
 * **PU** — task-purity rules over the shipped examples and experiment
   drivers (plus the pipeline's own job confs, linted alongside PL).
 * **CN** — lock-discipline rules over the engine's threaded modules.
@@ -27,8 +30,10 @@ from repro.analysis import (  # noqa: E402
     Severity,
     analyze_concurrency_files,
     analyze_procsafety_files,
+    build_model,
     default_procsafety_files,
     default_threaded_files,
+    lint_dataflow,
     lint_pipeline,
     lint_source_file,
 )
@@ -41,6 +46,10 @@ def main() -> int:
     t0 = time.perf_counter()
     pl_pu, _model = lint_pipeline(4096)
     rows.append(("PL+PU", "pipeline n=4096 nb=512", 1, pl_pu, time.perf_counter() - t0))
+
+    t0 = time.perf_counter()
+    df = lint_dataflow(build_model(4096))
+    rows.append(("DF", "block DAG n=4096 nb=512", 1, df, time.perf_counter() - t0))
 
     source_paths = sorted((ROOT / "examples").glob("*.py"))
     source_paths += sorted((ROOT / "src" / "repro" / "experiments").glob("*.py"))

@@ -10,6 +10,12 @@ task executes.  This package does exactly that:
 * :mod:`~repro.analysis.planlint` — plan rules (``PL0xx``): job counts,
   shape conformability, read-before-write, single-writer files, orphaned
   intermediates, Section 6 optimization-flag consistency;
+* :mod:`~repro.analysis.dataflow` — the block-granularity dependency DAG
+  (every DFS block write edged to every reader) and the ``DF0xx`` rules:
+  false barriers between sibling LU subtrees, write-before-read hazards,
+  dead blocks, redundant reads, critical path vs the barrier schedule,
+  acyclicity/generation order, and the telemetry-replay cross-check that
+  proves the static DAG covers the observed dataflow;
 * :mod:`~repro.analysis.purity` — mapper/reducer purity rules (``PU0xx``):
   closure/global mutation, input mutation, nondeterministic APIs — the
   hazard classes that break task retries and speculative execution;
@@ -33,6 +39,18 @@ from .concurrency import (
     analyze_concurrency_files,
     analyze_concurrency_sources,
     default_threaded_files,
+    missing_threaded_modules,
+)
+from .dataflow import (
+    BlockDAG,
+    BlockEdge,
+    ReplayStats,
+    SiblingReport,
+    build_block_dag,
+    lint_dataflow,
+    render_barrier_slack,
+    replay_spans,
+    sibling_reports,
 )
 from .findings import (
     RULES,
@@ -57,14 +75,18 @@ from .procsafety import (
 from .purity import analyze_callable, analyze_job, analyze_source
 
 __all__ = [
+    "BlockDAG",
+    "BlockEdge",
     "ConcurrencyAnalyzer",
     "Finding",
     "PipelineModel",
     "PreflightError",
     "ProcSafetyAnalyzer",
     "RULES",
+    "ReplayStats",
     "RuleSpec",
     "Severity",
+    "SiblingReport",
     "StepModel",
     "THREADED_MODULES",
     "analyze_callable",
@@ -74,29 +96,36 @@ __all__ = [
     "analyze_procsafety_files",
     "analyze_procsafety_sources",
     "analyze_source",
+    "build_block_dag",
     "build_model",
     "default_procsafety_files",
     "default_threaded_files",
     "filter_ignored",
     "has_errors",
+    "lint_dataflow",
     "lint_model",
     "lint_pipeline",
     "lint_plan",
     "lint_source_file",
     "max_severity",
+    "missing_threaded_modules",
     "preflight_check",
+    "render_barrier_slack",
     "render_json",
     "render_text",
+    "replay_spans",
+    "sibling_reports",
 ]
 
 
 def preflight_check(n: int, config=None) -> "PipelineModel":
     """Validate a pipeline before running it; raise on error findings.
 
-    Runs both analyzers (plan dataflow + task purity) for an order-``n``
-    inversion under ``config`` and raises :class:`PreflightError` if any
-    error-severity finding is produced.  Returns the validated model so the
-    caller can reuse the precomputation.
+    Runs the pipeline analyzers (plan rules, block-dataflow defect rules
+    over the :meth:`PipelineModel.block_dag`, task purity) for an
+    order-``n`` inversion under ``config`` and raises
+    :class:`PreflightError` if any error-severity finding is produced.
+    Returns the validated model so the caller can reuse the precomputation.
     """
     findings, model = lint_pipeline(n, config)
     if has_errors(findings):

@@ -18,6 +18,11 @@ Three modes:
   escape / mutation analyzer (rules ``PS001``–``PS008``) over the given
   paths, or over the whole ``repro`` package when no paths are given —
   the gate the planned ``ProcessPoolBackend`` rides on;
+* **dataflow mode** (``--dataflow``): build the block-granularity
+  dependency DAG for the plan and run the ``DF001``–``DF008`` rules —
+  false barriers, write-before-read hazards, dead blocks, critical path
+  vs the barrier schedule; ``--report`` adds the barrier-slack table and
+  ``--replay spans.jsonl`` cross-checks a recorded trace against the DAG;
 * **--self-check**: assert the analyzers themselves work — clean plans
   produce no findings, seeded defects produce the expected rule ids, and
   the engine's own modules pass the concurrency and process-safety
@@ -47,6 +52,12 @@ from .findings import (
     render_text,
 )
 from .concurrency import analyze_concurrency_files, default_threaded_files
+from .dataflow import (
+    build_block_dag,
+    lint_dataflow,
+    render_barrier_slack,
+    replay_spans,
+)
 from .procsafety import analyze_procsafety_files, default_procsafety_files
 from .model import PipelineModel, build_model
 from .planlint import lint_model, lint_plan
@@ -71,8 +82,12 @@ def pipeline_job_confs(layout) -> list:
 def lint_pipeline(
     n: int, config: InversionConfig | None = None
 ) -> tuple[list[Finding], PipelineModel]:
-    """Both analyzers over one pipeline: plan rules + task purity."""
+    """All pipeline analyzers: plan rules, block-dataflow defect rules
+    (DF002/3/4/6/7 — the structural DF001/DF005 reports are ``--dataflow``
+    mode's business), and task purity.  This is what the driver pre-flight
+    runs."""
     findings, model = lint_plan(n, config)
+    findings.extend(lint_dataflow(model))
     for conf in pipeline_job_confs(model.layout):
         findings.extend(analyze_job(conf))
     return findings, model
@@ -506,6 +521,112 @@ conf = JobConf(name="t", mapper_factory=lambda: FnMapper(task), splits=[])
         render_text(engine_ps),
     )
 
+    # 6. Dataflow analyzer (DF rules): the acceptance plan's structure is
+    # reported, seeded model corruptions fire each defect rule, and a real
+    # traced run replays cleanly against the static DAG.
+    from .dataflow import build_block_dag, lint_dataflow, replay_spans
+    from .findings import Severity
+
+    acceptance = InversionConfig(nb=2, m0=2)
+    model = build_model(8, acceptance)
+    dag = build_block_dag(model)
+    df = lint_dataflow(model, dag, structural=True)
+    check(
+        "acceptance plan n=8 nb=2 m0=2 -> DF001+DF005 info only, "
+        "zero DF hazards",
+        {f.rule for f in df} == {"DF001", "DF005"}
+        and all(f.severity == Severity.INFO for f in df),
+        render_text(df),
+    )
+    depth1 = [
+        f for f in df if f.rule == "DF001" and f.location == "/Root"
+    ]
+    check(
+        "depth-1 sibling subtrees /Root/A1 and /Root/OUT barrier-independent",
+        len(depth1) == 1 and "/Root/A1" in depth1[0].message
+        and "/Root/OUT" in depth1[0].message,
+        render_text(depth1),
+    )
+    chain = dag.critical_path()
+    check(
+        "critical path edges strictly shorter than barrier sync points",
+        len(chain) - 1 < 2 * len(model.steps) - 1
+        and len(chain) == len(model.steps),
+        f"chain {len(chain)} of {len(model.steps)} stages",
+    )
+
+    def df_rules(m: PipelineModel) -> set[str]:
+        return {f.rule for f in lint_dataflow(m)}
+
+    model = build_model(8, acceptance)
+    model.find_step("lu:/Root[map]").reads.add(model.layout.final_path(0))
+    check("read of a later stage's block -> DF002", "DF002" in df_rules(model))
+
+    model = build_model(8, acceptance)
+    model.find_step("partition[map]").writes.add("/Root/dead.bin")
+    check("write nobody reads -> DF003", "DF003" in df_rules(model))
+
+    model = build_model(8, acceptance)
+    step = model.find_step("lu:/Root[map]")
+    step.reads.add(sorted(step.writes)[0])
+    check("same-stage DFS round-trip -> DF004", "DF004" in df_rules(model))
+
+    model = build_model(8, acceptance)
+    out_path = sorted(model.find_step("lu:/Root[reduce]").writes)[0]
+    model.find_step("lu:/Root[map]").reads.add(out_path)
+    check("reciprocal map/reduce reads -> DF006 cycle", "DF006" in df_rules(model))
+
+    model = build_model(8, acceptance)
+    model.find_step("invert-final[map]").reads.add(model.layout.final_path(0))
+    check(
+        "map reading its own job's reduce output -> DF007",
+        "DF007" in df_rules(model),
+    )
+
+    model = build_model(8, acceptance)
+    cross = model.find_step("master-lu:/Root/A1/A1").writes
+    model.find_step("master-lu:/Root/OUT/A1").reads.add(sorted(cross)[0])
+    df001_left = {
+        f.location for f in lint_dataflow(model, structural=True)
+        if f.rule == "DF001"
+    }
+    check(
+        "seeded cross-subtree edge removes the root's DF001 independence",
+        "/Root" not in df001_left,
+        str(df001_left),
+    )
+
+    # Static-vs-dynamic: record one traced inversion at the acceptance
+    # configuration and replay its span export against the DAG.
+    import tempfile
+
+    from ..telemetry.cli import run_traced_inversion
+    from ..telemetry.exporters import read_jsonl
+
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl = f"{tmp}/spans.jsonl"
+        run_traced_inversion(n=8, nb=2, m0=2, seed=0, jsonl=jsonl)
+        spans = read_jsonl(jsonl)
+    model = build_model(8, acceptance)
+    replay_findings, stats = replay_spans(model, spans)
+    check(
+        "traced n=8 run replays cleanly against the static DAG "
+        f"({stats.matched} reads matched)",
+        not replay_findings and stats.matched > 0
+        and stats.matched == stats.attributed,
+        render_text(replay_findings) or stats.summary(),
+    )
+    dropped_step = model.find_step("invert-final[map]")
+    dropped_step.reads -= set(
+        model.layout.map_input_path(j) for j in range(acceptance.m0)
+    )
+    replay_findings, _ = replay_spans(model, spans)
+    check(
+        "dropped model read surfaces as DF008 on replay",
+        {f.rule for f in replay_findings} == {"DF008"},
+        render_text(replay_findings),
+    )
+
     if failures:
         print(f"self-check FAILED ({len(failures)} failure(s))")
         return 1
@@ -550,6 +671,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         "PATHS, or over the whole repro package when no paths are given",
     )
     parser.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="run the block-dataflow analyzer (DF rules) over the plan for "
+        "--n/--nb/--m0: block DAG, false barriers, hazards, dead blocks, "
+        "critical path vs the barrier schedule",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="with --dataflow, print the barrier-slack table (per-depth "
+        "removable barriers, critical path, max width)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="SPANS_JSONL",
+        help="with --dataflow, replay a span export (repro trace --jsonl) "
+        "against the static DAG and flag observed read edges the model "
+        "missed (DF008)",
+    )
+    parser.add_argument(
         "--self-check",
         action="store_true",
         help="verify the analyzers against clean and deliberately corrupted "
@@ -559,6 +700,45 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.self_check:
         return _self_check()
+
+    if (args.report or args.replay) and not args.dataflow:
+        print("--report/--replay require --dataflow", file=sys.stderr)
+        return 2
+
+    if args.dataflow:
+        try:
+            config = InversionConfig(nb=args.nb, m0=args.m0)
+            model = build_model(args.n, config)
+        except ValueError as exc:
+            print(f"invalid configuration: {exc}", file=sys.stderr)
+            return 2
+        dag = build_block_dag(model)
+        findings = lint_dataflow(model, dag, structural=True)
+        stats = None
+        if args.replay:
+            from ..telemetry.exporters import read_jsonl
+
+            try:
+                spans = read_jsonl(args.replay)
+            except (OSError, ValueError) as exc:
+                print(f"cannot read span export: {exc}", file=sys.stderr)
+                return 2
+            replay_findings, stats = replay_spans(model, spans)
+            findings.extend(replay_findings)
+        if not args.json:
+            print(
+                f"dataflow n={args.n} nb={args.nb} m0={args.m0}: "
+                f"{len(model.steps)} stages, {model.job_count} jobs, "
+                f"{len(dag.producers)} blocks, {len(dag.edges())} "
+                "producer->consumer edges"
+            )
+            if args.report:
+                print(render_barrier_slack(model, dag))
+            if stats is not None:
+                print(f"replay {args.replay}: {stats.summary()}")
+        findings = filter_ignored(findings, args.ignore.split(","))
+        print(render_json(findings) if args.json else render_text(findings))
+        return 1 if has_errors(findings) else 0
 
     findings: list[Finding] = []
     if args.concurrency or args.procsafety:
@@ -616,6 +796,7 @@ def register_commands(registry) -> None:
         "lint",
         main,
         help="statically validate pipelines without running them "
-        "(plan dataflow + mapper/reducer purity + lock discipline + "
-        "process safety); see python -m repro lint --help",
+        "(plan dataflow + block DAG/barrier slack + mapper/reducer purity "
+        "+ lock discipline + process safety); see python -m repro lint "
+        "--help",
     )

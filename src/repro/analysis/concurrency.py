@@ -1223,6 +1223,18 @@ def default_threaded_files() -> list[pathlib.Path]:
     return [root / rel for rel in THREADED_MODULES]
 
 
+def missing_threaded_modules() -> list[str]:
+    """Entries of :data:`THREADED_MODULES` that no longer exist on disk.
+
+    A rename would otherwise silently drop the module from the CN sweep —
+    the analyzer skips unreadable files, so the lint would keep passing
+    while checking less.  ``scripts/check_threaded_modules.py`` gates
+    ``make lint`` on this returning empty.
+    """
+    root = pathlib.Path(__file__).resolve().parent.parent
+    return [rel for rel in THREADED_MODULES if not (root / rel).is_file()]
+
+
 def analyze_concurrency_sources(
     sources: Iterable[tuple[str, str]],
 ) -> list[Finding]:
@@ -1252,4 +1264,5 @@ __all__ = [
     "analyze_concurrency_files",
     "analyze_concurrency_sources",
     "default_threaded_files",
+    "missing_threaded_modules",
 ]

@@ -63,6 +63,31 @@ RULES: dict[str, RuleSpec] = {
         RuleSpec("PL009", Severity.ERROR,
                  "step touches the /_tmp staging or _commit manifest "
                  "namespace (private to the two-phase output commit)"),
+        # -- block-dataflow rules (dataflow) -----------------------------------
+        RuleSpec("DF001", Severity.INFO,
+                 "false barrier: sibling LU subtrees exchange no direct "
+                 "block edges (coupling flows only through the parent job)"),
+        RuleSpec("DF002", Severity.ERROR,
+                 "cross-stage write-before-read hazard: a stage reads a "
+                 "block first written at the same or a later stage"),
+        RuleSpec("DF003", Severity.WARNING,
+                 "dead block: written, never read by any stage, never "
+                 "published through a commit manifest"),
+        RuleSpec("DF004", Severity.WARNING,
+                 "redundant read: a stage round-trips its own same-stage "
+                 "write through the DFS"),
+        RuleSpec("DF005", Severity.INFO,
+                 "barrier slack: static critical-path length vs the "
+                 "barrier schedule's global sync points"),
+        RuleSpec("DF006", Severity.ERROR,
+                 "cycle in the block dependency DAG (no schedule can "
+                 "satisfy it)"),
+        RuleSpec("DF007", Severity.ERROR,
+                 "generation-order violation: a map phase reads its own "
+                 "job's reduce output"),
+        RuleSpec("DF008", Severity.ERROR,
+                 "observed read edge missing from the static DAG "
+                 "(telemetry replay cross-check)"),
         # -- mapper/reducer purity rules (purity) -----------------------------
         RuleSpec("PU001", Severity.INFO,
                  "source unavailable; callable not analyzable"),

@@ -92,6 +92,15 @@ class PipelineModel:
                 return step
         raise KeyError(name)
 
+    def block_dag(self):
+        """The block-granularity dependency DAG over this pipeline's steps
+        (:class:`repro.analysis.dataflow.BlockDAG`) — every DFS block write
+        edged to every step that reads it.  This is the public structure a
+        dataflow scheduler consumes instead of the barrier schedule."""
+        from .dataflow import build_block_dag
+
+        return build_block_dag(self)
+
 
 def _combined(node: PlanNode, config: InversionConfig) -> bool:
     """True when ``node``'s factors live in single combined files — always
@@ -259,6 +268,8 @@ def build_model(
     step but touches no runtime, no DFS, and no matrix data.
     """
     cfg = config or InversionConfig()
+    if n < 1 or cfg.nb < 1:
+        raise ValueError("n and nb must be >= 1")
     plan = InversionPlan(n=n, nb=cfg.nb, m0=cfg.m0, root=cfg.root)
     layout = Layout(plan, cfg, n)
     tree = plan.tree

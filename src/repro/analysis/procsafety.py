@@ -1158,9 +1158,16 @@ class ProcSafetyAnalyzer:
 
 def default_procsafety_files() -> list[pathlib.Path]:
     """Every module of the installed ``repro`` package — the engine sweep
-    population for ``python -m repro lint --procsafety``."""
+    population for ``python -m repro lint --procsafety``.
+
+    ``__pycache__`` is excluded: an installation can leave stale ``.py``
+    artifacts there (editable installs, source-preserving bytecode caches),
+    and sweeping them would lint code that no longer exists.
+    """
     root = pathlib.Path(__file__).resolve().parent.parent
-    return sorted(root.rglob("*.py"))
+    return sorted(
+        p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+    )
 
 
 def analyze_procsafety_sources(

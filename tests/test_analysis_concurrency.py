@@ -237,6 +237,15 @@ def test_engine_threaded_modules_are_clean():
     assert findings == [], findings
 
 
+def test_threaded_modules_list_matches_disk():
+    """Every THREADED_MODULES entry must exist — a rename that misses the
+    list would silently shrink the CN sweep (make lint runs the same guard
+    via scripts/check_threaded_modules.py)."""
+    from repro.analysis import missing_threaded_modules
+
+    assert missing_threaded_modules() == []
+
+
 # -- CLI ----------------------------------------------------------------------------
 
 

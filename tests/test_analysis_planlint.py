@@ -73,6 +73,22 @@ def test_model_counts_intermediate_files_like_section_61():
     assert lint_model(model) == []
 
 
+def test_output_commit_off_means_no_manifest_paths():
+    """With the two-phase commit disabled no manifests exist, so the model
+    must not invent them — and PL009 stays silent either way."""
+    config = InversionConfig(nb=64, output_commit=False)
+    model = build_model(256, config)
+    assert model.manifest_writes == set()
+    findings = lint_model(model)
+    assert "PL009" not in {f.rule for f in findings}
+    assert findings == []
+    # Contrast: with the commit on, one manifest per master phase and job.
+    committed = build_model(256, InversionConfig(nb=64))
+    n_master = sum(1 for s in committed.steps if s.kind == "master")
+    assert len(committed.manifest_writes) == n_master + committed.job_count
+    assert committed.all_writes() >= committed.manifest_writes
+
+
 # -- seeded defects ----------------------------------------------------------------
 
 

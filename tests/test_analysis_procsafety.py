@@ -322,6 +322,14 @@ def test_engine_package_is_procsafety_clean():
     assert findings == [], findings
 
 
+def test_default_sweep_skips_pycache_artifacts():
+    """Stale ``__pycache__`` debris (e.g. a ``.py`` dropped there by a
+    build tool) must never enter the self-check discovery sweep."""
+    paths = default_procsafety_files()
+    assert paths
+    assert all("__pycache__" not in p.parts for p in paths)
+
+
 def test_examples_and_experiments_are_procsafety_clean():
     root = pathlib.Path(__file__).resolve().parent.parent
     paths = sorted((root / "examples").glob("*.py"))
