@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-processes lint chaos chaos-processes trace-demo check bench bench-cache bench-executor experiments examples coverage clean
+.PHONY: install test test-processes lint chaos chaos-processes trace-demo check bench bench-cache bench-executor bench-scheduler experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -44,10 +44,14 @@ lint:
 # writes) with end-to-end invariants, then the exhaustive crash-point sweep
 # (kill the driver at every DFS write/publish of a small run, resume,
 # audit) and the fsck self-check (every debris category detected and
-# rolled back).  Exit status 0 iff everything is green.
+# rolled back).  The battery and sweep then repeat under the dataflow
+# scheduler — every invariant must hold with the barriers deleted.
+# Exit status 0 iff everything is green.
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --seed 0
 	PYTHONPATH=src $(PYTHON) -m repro chaos --sweep --seed 0
+	PYTHONPATH=src $(PYTHON) -m repro chaos --seed 0 --scheduler dataflow
+	PYTHONPATH=src $(PYTHON) -m repro chaos --sweep --seed 0 --scheduler dataflow
 	PYTHONPATH=src $(PYTHON) -m repro dfs fsck --self-check
 
 # Same schedule battery, but task attempts run in forked worker processes
@@ -79,6 +83,13 @@ bench-cache:
 # applies on multi-core hosts (single-core runs record the IPC overhead).
 bench-executor:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_executor.py
+
+# Scheduler benchmark: barrier vs dataflow inter-job scheduling (sync
+# points, critical path, wall clock under threads and processes).  Writes
+# BENCH_scheduler.json; the wall-clock gate only applies on multi-core
+# hosts.
+bench-scheduler:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scheduler.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.run_all

@@ -44,26 +44,13 @@ import time
 
 import numpy as np
 
+from hostinfo import schedulable_cpus
+
 from repro import InversionConfig, invert
 from repro.mapreduce import MapReduceRuntime, RuntimeConfig
 
 SPEEDUP_TARGET = 1.3
 EXECUTORS = ("serial", "threads", "processes")
-
-
-def schedulable_cpus() -> tuple[int, str]:
-    """Cores this process may actually run on, and where the number came
-    from — ``os.cpu_count()`` ignores affinity masks and cgroup pinning."""
-    process_cpu_count = getattr(os, "process_cpu_count", None)  # 3.13+
-    if process_cpu_count is not None:
-        count = process_cpu_count()
-        if count:
-            return count, "os.process_cpu_count()"
-    if hasattr(os, "sched_getaffinity"):
-        count = len(os.sched_getaffinity(0))
-        if count:
-            return count, "os.sched_getaffinity(0)"
-    return os.cpu_count() or 1, "os.cpu_count()"
 
 
 def run_once(a: np.ndarray, *, nb: int, m0: int, executor: str, workers: int):

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Scheduler benchmark: barrier vs dataflow inter-job scheduling.
+
+Runs the same end-to-end inversion under the paper's strictly
+barrier-synchronized step sequence and under the dependency-driven
+scheduler (``schedule="dataflow"``), and records in ``BENCH_scheduler.json``:
+
+* the static schedule geometry per configuration — sync points under each
+  mode (barrier: every stage plus a global barrier after each non-final
+  stage; dataflow: the stages alone) and the block DAG's critical-path
+  length, straight from the dataflow analyzer's barrier-slack report;
+* wall-clock for both modes under the threads and processes backends,
+  with the dataflow/barrier speedup;
+* residuals for every run (the modes must agree numerically, always).
+
+The wall-clock gate mirrors ``bench_executor.py``: overlap between steps
+can only buy time when the host can actually schedule the overlapped work,
+so the speedup assertion applies only on multi-core hosts (schedulable
+cores probed via ``hostinfo.schedulable_cpus``, not ``os.cpu_count()``).
+Correctness and the sync-point reduction are asserted unconditionally.
+
+Usage::
+
+    python benchmarks/bench_scheduler.py              # full run
+    python benchmarks/bench_scheduler.py --smoke      # CI-sized run
+    python benchmarks/bench_scheduler.py --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from hostinfo import host_report, schedulable_cpus
+
+from repro import InversionConfig
+from repro.analysis import build_model
+from repro.analysis.dataflow import barrier_slack_data
+from repro.inversion.driver import MatrixInverter
+from repro.mapreduce import MapReduceRuntime, RuntimeConfig
+
+EXECUTORS = ("threads", "processes")
+SCHEDULES = ("barrier", "dataflow")
+#: Minimum dataflow/barrier speedup demanded on multi-core hosts, on the
+#: best configuration (not every point: tiny geometries are overhead-bound).
+SPEEDUP_TARGET = 1.0
+
+
+def run_once(a, *, nb, m0, executor, workers, schedule):
+    rt = MapReduceRuntime(
+        config=RuntimeConfig(num_workers=workers, executor=executor)
+    )
+    cfg = InversionConfig(nb=nb, m0=m0, schedule=schedule)
+    inverter = MatrixInverter(config=cfg, runtime=rt)
+    start = time.perf_counter()
+    try:
+        result = inverter.invert(a)
+        elapsed = time.perf_counter() - start
+        return elapsed, result.residual(a)
+    finally:
+        rt.shutdown()
+
+
+def run_mode(a, *, nb, m0, executor, workers, schedule, reps):
+    best, residual = run_once(
+        a, nb=nb, m0=m0, executor=executor, workers=workers, schedule=schedule
+    )
+    for _ in range(reps - 1):
+        t, residual = run_once(
+            a, nb=nb, m0=m0, executor=executor, workers=workers,
+            schedule=schedule,
+        )
+        best = min(best, t)
+    return best, residual
+
+
+def bench_config(*, n, nb, m0, workers, reps, seed):
+    """One (n, nb, m0) point: static geometry + timed runs per backend."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+
+    slack = barrier_slack_data(build_model(n, InversionConfig(nb=nb, m0=m0)))
+    point = {
+        "n": n,
+        "nb": nb,
+        "m0": m0,
+        "workers": workers,
+        "sync_points": slack["sync_points"],
+        "critical_path_length": len(slack["critical_path"]),
+        "jobs": slack["jobs"],
+        "stages": slack["stages"],
+        "backends": {},
+    }
+    for executor in EXECUTORS:
+        wall, residuals = {}, {}
+        for schedule in SCHEDULES:
+            wall[schedule], residuals[schedule] = run_mode(
+                a, nb=nb, m0=m0, executor=executor, workers=workers,
+                schedule=schedule, reps=reps,
+            )
+        point["backends"][executor] = {
+            "wall_seconds": wall,
+            "residuals": residuals,
+            "speedup_dataflow_vs_barrier": (
+                wall["barrier"] / wall["dataflow"] if wall["dataflow"] else 0.0
+            ),
+        }
+    return point
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out", default="BENCH_scheduler.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run: small points, one rep"
+    )
+    args = parser.parse_args(argv)
+
+    # The n=8 nb=2 m0=2 point pins the canonical sync-point reduction
+    # (29 -> 15); the larger points carry the wall-clock evidence.
+    if args.smoke:
+        points = [(8, 2, 2, 2), (64, 16, 4, 4)]
+        args.reps = 1
+    else:
+        points = [(8, 2, 2, 2), (128, 32, 4, 4), (256, 64, 8, 8)]
+
+    process_cpus, cpus_source = schedulable_cpus()
+
+    # Warm NumPy/BLAS and the engine before timing anything.
+    rng = np.random.default_rng(args.seed)
+    warm = rng.standard_normal((16, 16)) + 16 * np.eye(16)
+    run_once(warm, nb=4, m0=2, executor="threads", workers=2,
+             schedule="dataflow")
+
+    results = [
+        bench_config(
+            n=n, nb=nb, m0=m0, workers=workers, reps=args.reps, seed=args.seed
+        )
+        for n, nb, m0, workers in points
+    ]
+
+    correct = all(
+        r < 1e-6
+        for point in results
+        for backend in point["backends"].values()
+        for r in backend["residuals"].values()
+    )
+    sync_reduced = all(
+        p["sync_points"]["dataflow"] < p["sync_points"]["barrier"]
+        for p in results
+    )
+    best_speedup = max(
+        backend["speedup_dataflow_vs_barrier"]
+        for point in results
+        for backend in point["backends"].values()
+    )
+    multi_core = process_cpus > 1
+    if multi_core:
+        gate = {
+            "applied": True,
+            "reason": f"{process_cpus} schedulable core(s) via {cpus_source}",
+            "passed": best_speedup >= SPEEDUP_TARGET,
+        }
+    else:
+        gate = {
+            "applied": False,
+            "reason": f"{process_cpus} schedulable core(s) via {cpus_source}: "
+            "no overlap capacity, wall-clock gate skipped; sync-point and "
+            "correctness checks still apply",
+            "passed": None,
+        }
+    passed = correct and sync_reduced and (gate["passed"] is not False)
+
+    report = {
+        "benchmark": "scheduler_barrier_vs_dataflow",
+        "host": host_report(),
+        "config": {"reps": args.reps, "seed": args.seed, "smoke": args.smoke},
+        "points": results,
+        "criteria": {
+            "all_runs_correct": correct,
+            "sync_points_reduced_everywhere": sync_reduced,
+            "best_speedup_dataflow_vs_barrier": best_speedup,
+            "speedup_target": SPEEDUP_TARGET,
+            "multi_core_gate": gate,
+            "passed": passed,
+        },
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for point in results:
+        sp = point["sync_points"]
+        print(
+            f"n={point['n']} nb={point['nb']} m0={point['m0']}: "
+            f"sync points {sp['barrier']} -> {sp['dataflow']}, "
+            f"critical path {point['critical_path_length']} stages"
+        )
+        for executor, backend in point["backends"].items():
+            wall = backend["wall_seconds"]
+            print(
+                f"  {executor:>9}: barrier {wall['barrier']:.3f}s, "
+                f"dataflow {wall['dataflow']:.3f}s "
+                f"({backend['speedup_dataflow_vs_barrier']:.2f}x)"
+            )
+    print(f"gate: {gate['reason']}")
+    print(f"{'PASS' if passed else 'FAIL'} -> {out}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

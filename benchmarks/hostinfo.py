@@ -1,0 +1,36 @@
+"""Host-capability probe shared by the benchmark scripts.
+
+``os.cpu_count()`` ignores affinity masks and cgroup pinning: a CI runner
+may expose 64 cores while confining the job to one.  Benchmarks that gate
+on parallel speedup must gate on the *schedulable* count, and record where
+the number came from so a skipped gate is explainable from the JSON alone.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def schedulable_cpus() -> tuple[int, str]:
+    """Cores this process may actually run on, and where the number came
+    from — ``os.cpu_count()`` ignores affinity masks and cgroup pinning."""
+    process_cpu_count = getattr(os, "process_cpu_count", None)  # 3.13+
+    if process_cpu_count is not None:
+        count = process_cpu_count()
+        if count:
+            return count, "os.process_cpu_count()"
+    if hasattr(os, "sched_getaffinity"):
+        count = len(os.sched_getaffinity(0))
+        if count:
+            return count, "os.sched_getaffinity(0)"
+    return os.cpu_count() or 1, "os.cpu_count()"
+
+
+def host_report() -> dict:
+    """The ``host`` block every benchmark report embeds."""
+    count, source = schedulable_cpus()
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "process_cpu_count": count,
+        "process_cpu_count_source": source,
+    }

@@ -48,6 +48,7 @@ from .dataflow import (
     SiblingReport,
     build_block_dag,
     lint_dataflow,
+    barrier_slack_data,
     render_barrier_slack,
     replay_spans,
     sibling_reports,
@@ -110,6 +111,7 @@ __all__ = [
     "max_severity",
     "missing_threaded_modules",
     "preflight_check",
+    "barrier_slack_data",
     "render_barrier_slack",
     "render_json",
     "render_text",

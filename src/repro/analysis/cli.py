@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import pathlib
 import sys
 from typing import Sequence
@@ -55,6 +56,7 @@ from .concurrency import analyze_concurrency_files, default_threaded_files
 from .dataflow import (
     build_block_dag,
     lint_dataflow,
+    barrier_slack_data,
     render_barrier_slack,
     replay_spans,
 )
@@ -737,7 +739,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             if stats is not None:
                 print(f"replay {args.replay}: {stats.summary()}")
         findings = filter_ignored(findings, args.ignore.split(","))
-        print(render_json(findings) if args.json else render_text(findings))
+        if args.json and args.report:
+            # Machine-readable --report: one object holding the slack table
+            # and the findings (plain --json stays a bare findings array).
+            print(
+                json.dumps(
+                    {
+                        "report": barrier_slack_data(model, dag),
+                        "findings": json.loads(render_json(findings)),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(render_json(findings) if args.json else render_text(findings))
         return 1 if has_errors(findings) else 0
 
     findings: list[Finding] = []

@@ -1205,6 +1205,8 @@ THREADED_MODULES: tuple[str, ...] = (
     "mapreduce/backends.py",
     "mapreduce/counters.py",
     "mapreduce/faults.py",
+    "mapreduce/pipeline.py",
+    "mapreduce/scheduler.py",
     "dfs/blocks.py",
     "dfs/cache.py",
     "dfs/filesystem.py",

@@ -639,6 +639,63 @@ def replay_spans(
 # -- the barrier-slack report ------------------------------------------------------
 
 
+def barrier_slack_data(
+    model: "PipelineModel", dag: BlockDAG | None = None
+) -> dict:
+    """The barrier-slack report as plain data (``--report --json``).
+
+    Same numbers :func:`render_barrier_slack` prints, keyed for machines:
+    the scheduler benchmark and tests consume ``sync_points`` and
+    ``critical_path`` rather than re-deriving them.
+    """
+    dag = dag or build_block_dag(model)
+    stages = len(dag.stages)
+    barriers = max(stages - 1, 0)
+    chain = dag.critical_path()
+    cfg = model.config
+    return {
+        "n": model.n,
+        "nb": cfg.nb,
+        "m0": cfg.m0,
+        "depth": model.plan.depth,
+        "jobs": model.job_count,
+        "stages": stages,
+        "barriers": barriers,
+        "sync_points": {
+            # Barrier mode synchronizes at every stage boundary *and* start:
+            # each of the `stages` steps plus the global barrier after each
+            # non-final step.  Dataflow keeps only the per-stage completions.
+            "barrier": stages + barriers,
+            "dataflow": stages,
+        },
+        "critical_path": list(chain),
+        "critical_path_edges": max(len(chain) - 1, 0),
+        "max_width": dag.max_width(),
+        "blocks": len(dag.producers),
+        "block_edges": len(dag.edges()),
+        "implied_orderings": stages * (stages - 1) // 2,
+        "sibling_barriers": [
+            {
+                "depth": r.depth,
+                "parent_dir": r.parent_dir,
+                "parent_job": r.parent_job,
+                "child1": r.child1_dir,
+                "child2": r.child2_dir,
+                "cross_block_edges": sum(len(e.paths) for e in r.cross_edges),
+                "removable": r.independent,
+            }
+            for r in sorted(
+                (
+                    r
+                    for r in sibling_reports(model, dag)
+                    if r.child1_steps and r.child2_steps
+                ),
+                key=lambda r: (r.depth, r.parent_dir),
+            )
+        ],
+    }
+
+
 def render_barrier_slack(model: "PipelineModel", dag: BlockDAG | None = None) -> str:
     """Human-readable barrier-slack table for ``--dataflow --report``."""
     dag = dag or build_block_dag(model)
@@ -704,6 +761,7 @@ __all__ = [
     "BlockEdge",
     "ReplayStats",
     "SiblingReport",
+    "barrier_slack_data",
     "build_block_dag",
     "lint_dataflow",
     "render_barrier_slack",

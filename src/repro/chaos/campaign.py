@@ -243,8 +243,13 @@ def run_schedule(
     num_datanodes: int = 5,
     replication: int = 3,
     executor: str = "serial",
+    scheduler: str = "barrier",
 ) -> ScheduleOutcome:
-    """Run one full inversion under ``schedule`` and check every invariant."""
+    """Run one full inversion under ``schedule`` and check every invariant.
+
+    ``scheduler`` selects the inter-job scheduling mode ("barrier" or
+    "dataflow") — the invariants must hold identically under both.
+    """
     outcome = ScheduleOutcome(schedule=schedule.name, description=schedule.description)
     start = time.perf_counter()
 
@@ -269,6 +274,7 @@ def run_schedule(
         retry=schedule.retry,
         max_attempts=schedule.max_attempts,
         telemetry=telemetry,
+        schedule=scheduler,
     )
     outcome.trace_id = telemetry.tracer().trace_id
     inverter = MatrixInverter(config=config, runtime=runtime)
@@ -318,13 +324,20 @@ def run_campaign(
     m0: int = 4,
     schedules: tuple[FaultSchedule, ...] | None = None,
     executor: str = "serial",
+    scheduler: str = "barrier",
 ) -> CampaignReport:
     """Run the full battery (or a custom one) and collect every outcome."""
     report = CampaignReport(seed=seed, n=n, nb=nb, m0=m0)
     for schedule in schedules if schedules is not None else builtin_schedules(seed):
         report.outcomes.append(
             run_schedule(
-                schedule, seed=seed, n=n, nb=nb, m0=m0, executor=executor
+                schedule,
+                seed=seed,
+                n=n,
+                nb=nb,
+                m0=m0,
+                executor=executor,
+                scheduler=scheduler,
             )
         )
     return report
@@ -513,6 +526,7 @@ def run_crash_point_sweep(
     m0: int = 2,
     num_datanodes: int = 3,
     replication: int = 2,
+    scheduler: str = "barrier",
 ) -> SweepReport:
     """Crash the driver at every write/publish point of a small run.
 
@@ -525,7 +539,7 @@ def run_crash_point_sweep(
     read-only :func:`~repro.dfs.fsck.fsck` audit.
     """
     a = campaign_matrix(n, seed)
-    config = InversionConfig(nb=nb, m0=m0)
+    config = InversionConfig(nb=nb, m0=m0, schedule=scheduler)
 
     points: list[CrashPoint] = []
     dfs, runtime = _sweep_cluster(seed, m0, num_datanodes, replication)

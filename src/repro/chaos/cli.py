@@ -88,6 +88,13 @@ def main(argv: list[str] | None = None) -> int:
         help="run only this schedule (repeatable); default: full battery",
     )
     parser.add_argument(
+        "--scheduler",
+        choices=("barrier", "dataflow"),
+        default="barrier",
+        help="inter-job scheduling mode for every run, battery and sweep "
+        "alike (default: barrier); the invariants must hold under both",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list schedules and exit"
     )
     parser.add_argument(
@@ -108,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.sweep:
-        sweep = run_crash_point_sweep(seed=args.seed)
+        sweep = run_crash_point_sweep(seed=args.seed, scheduler=args.scheduler)
         if args.json:
             print(json.dumps(sweep.to_dict(), indent=2))
         else:
@@ -132,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         m0=args.m0,
         schedules=schedules,
         executor=args.executor,
+        scheduler=args.scheduler,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))

@@ -128,6 +128,13 @@ class DFS:
         #: (``op="publish"``).  Used by the chaos harness to crash the
         #: driver at exact write/publish points; empty in production.
         self.fault_hooks: list = []
+        #: Publish listeners fired as ``listener(paths)`` *after* every
+        #: successful atomic publish, with the list of now-sealed final
+        #: paths.  The dataflow scheduler
+        #: (:mod:`repro.mapreduce.scheduler`) keys step readiness on these
+        #: events; empty otherwise.  Listeners run in the publishing
+        #: thread and must not raise.
+        self.publish_listeners: list = []
 
     # -- decoded-block cache ---------------------------------------------------
 
@@ -337,6 +344,13 @@ class DFS:
             for src, dst in normalized:
                 self.cache.drop_path(src)
                 self.cache.drop_path(dst)
+        if self.publish_listeners:
+            # After the namenode publish: the destinations are sealed and
+            # visible, so a listener-triggered reader can never observe a
+            # pending file.
+            sealed = [dst for _, dst in normalized]
+            for listener in list(self.publish_listeners):
+                listener(sealed)
 
     def discard_staging(self, path: str) -> None:
         """Delete an uncommitted staging subtree (aborted or losing attempt);

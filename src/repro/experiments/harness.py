@@ -77,6 +77,10 @@ class ExperimentHarness:
             # Commit manifests are protocol metadata the paper's byte
             # accounting knows nothing about; keep the write volumes pinned.
             output_commit=False,
+            # The paper's runs are strictly barrier-synchronized (Section 5);
+            # pin the mode so a dataflow-default runtime can never skew the
+            # reproduced step sequence or timings.
+            schedule="barrier",
         )
         runtime = MapReduceRuntime(
             config=RuntimeConfig(num_workers=self.num_workers, executor=self.executor),

@@ -17,11 +17,12 @@ def cmd_invert(args: argparse.Namespace) -> int:
         m0=args.m0,
         executor=args.executor,
         num_workers=args.num_workers,
+        schedule=args.scheduler,
     )
     inverter = MatrixInverter(config=config)
     result = inverter.invert(a)
     print(f"order {args.n}, nb={args.nb}, m0={args.m0}, "
-          f"executor={args.executor}")
+          f"executor={args.executor}, scheduler={args.scheduler}")
     print(f"jobs: {result.num_jobs}  (depth {result.plan.depth})")
     print(f"driver residual:      {result.residual(a):.3e}")
     if args.verify:
@@ -42,6 +43,10 @@ def configure_invert(parser: argparse.ArgumentParser) -> None:
                         help="task execution backend (default: serial)")
     parser.add_argument("--num-workers", type=int, default=None,
                         help="worker-pool width (default: m0)")
+    parser.add_argument("--scheduler", choices=("barrier", "dataflow"),
+                        default="barrier",
+                        help="inter-job scheduling mode (default: barrier; "
+                        "dataflow launches steps on block availability)")
     parser.add_argument("--verify", action="store_true",
                         help="also run the distributed verification job")
 

@@ -86,6 +86,14 @@ class InversionConfig:
     num_workers:
         Worker-pool width for the driver-built runtime.  ``None`` (default)
         sizes the pool to ``m0`` — one slot per simulated compute node.
+    schedule:
+        Inter-step scheduling mode: ``"barrier"`` runs the pipeline as the
+        paper's strictly barrier-synchronized step sequence; ``"dataflow"``
+        launches every step the moment its DFS input blocks are published
+        (:mod:`repro.mapreduce.scheduler`), overlapping steps whose block
+        sets are disjoint.  ``None`` (default) defers to the runtime's
+        :attr:`~repro.mapreduce.RuntimeConfig.schedule`.  Dataflow mode
+        requires ``output_commit`` (readiness is keyed on sealed publishes).
     """
 
     nb: int = 64
@@ -104,6 +112,7 @@ class InversionConfig:
     output_commit: bool = True
     executor: str = "serial"
     num_workers: int | None = None
+    schedule: str | None = None
 
     def __post_init__(self) -> None:
         if self.nb < 1:
@@ -120,6 +129,16 @@ class InversionConfig:
             raise ValueError("max_attempts must be >= 1")
         if self.num_workers is not None and self.num_workers < 1:
             raise ValueError("num_workers must be >= 1 (or None for m0)")
+        if self.schedule not in (None, "barrier", "dataflow"):
+            raise ValueError(
+                f"unknown schedule {self.schedule!r} "
+                "(use 'barrier', 'dataflow', or None)"
+            )
+        if self.schedule == "dataflow" and not self.output_commit:
+            raise ValueError(
+                "schedule='dataflow' requires output_commit: step readiness "
+                "is keyed on sealed (published) blocks"
+            )
 
     @property
     def mhalf(self) -> int:

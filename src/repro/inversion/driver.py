@@ -121,6 +121,10 @@ class InversionResult:
     record: PipelineRecord
     config: InversionConfig
     io: IOSnapshot = field(default_factory=IOSnapshot)
+    #: Achieved schedule of a dataflow-mode run
+    #: (:class:`~repro.mapreduce.scheduler.SchedulerReport`); ``None`` for
+    #: barrier mode.
+    scheduler_report: object | None = None
 
     @property
     def num_jobs(self) -> int:
@@ -435,6 +439,244 @@ class MatrixInverter:
         pipeline.master_phase("collect-output", collect, io=master)
         return out
 
+    # -- dataflow scheduling ---------------------------------------------------
+
+    def _schedule_mode(self) -> str:
+        """Resolved scheduling mode: config wins, runtime config is the
+        fallback (``"barrier"`` unless someone opted in)."""
+        return self.config.schedule or self.runtime.config.schedule
+
+    def _dataflow_units(self, layout, pipeline, model, run_span, *, resume):
+        """The pipeline's schedulable units, in plan order.
+
+        Mirrors :meth:`invert`'s barrier step sequence exactly — one unit
+        per master phase, one per MapReduce job (map+reduce grouped:
+        intra-job dataflow is the JobTracker's business) — with each unit's
+        ``needs`` taken from the static model: its reads minus its own
+        writes.  ``write-input`` (already run by ``_prepare``) and
+        ``collect-output`` (runs after the schedule drains) are excluded.
+        """
+        from ..mapreduce.scheduler import UnitSpec
+
+        cfg = self.config
+        dfs = self.runtime.dfs
+        log = self._commit_log()
+        nodes_by_dir: dict[str, PlanNode] = {}
+
+        def index(node: PlanNode) -> None:
+            nodes_by_dir[node.dir] = node
+            if not node.is_leaf:
+                index(node.child1)
+                index(node.child2)
+
+        index(layout.plan.tree)
+
+        # Group the model's steps into units: master steps stand alone, a
+        # job's map+reduce phases merge.
+        steps = [
+            s
+            for s in model.steps
+            if s.name not in ("write-input", "collect-output")
+        ]
+        grouped: list[tuple[str, str, list]] = []
+        i = 0
+        while i < len(steps):
+            step = steps[i]
+            if step.job is None:
+                grouped.append(("phase", step.name, [step]))
+                i += 1
+                continue
+            j = i
+            while j < len(steps) and steps[j].job == step.job:
+                j += 1
+            grouped.append(("job", step.job, steps[i:j]))
+            i = j
+
+        def job_conf_factory(job_name: str):
+            if job_name == "partition":
+                return lambda: partition_job(layout)
+            if job_name == "invert-final":
+                return lambda: invert_job(layout)
+            if job_name.startswith("lu:"):
+                node = nodes_by_dir[job_name[len("lu:"):]]
+                return lambda: lu_job(layout, node)
+            raise KeyError(f"unknown job unit {job_name!r}")
+
+        def phase_body(phase_name: str):
+            """The master-phase work, as fn(MasterIO) -> None, plus flops."""
+            if phase_name.startswith("master-lu:"):
+                node = nodes_by_dir[phase_name[len("master-lu:"):]]
+                nl = layout.of(node)
+                is_whole_input = node is layout.plan.tree
+
+                def leaf_lu(master: MasterIO) -> None:
+                    if is_whole_input:
+                        if cfg.input_format == "binary":
+                            block = master.read_matrix(layout.input_path)
+                        else:
+                            block = formats.decode_matrix_text(
+                                master.read_bytes(layout.input_path).decode(
+                                    "utf-8"
+                                )
+                            )
+                    else:
+                        block = nl.matrix.read(master)
+                    lu = lu_decompose(block, pivot=cfg.pivot)
+                    write_leaf_factors(
+                        master, nl, lu, transpose_u=cfg.transpose_u
+                    )
+
+                return leaf_lu, lu_flop_count(node.n)
+            if phase_name.startswith("combine:"):
+                node = nodes_by_dir[phase_name[len("combine:"):]]
+
+                def do_combine(master: MasterIO) -> None:
+                    combine_factors(layout, node, master, master)
+
+                return do_combine, 0.0
+            raise KeyError(f"unknown phase unit {phase_name!r}")
+
+        units: list[UnitSpec] = []
+        for kind, name, members in grouped:
+            needs = frozenset(
+                set().union(*(s.reads for s in members))
+                - set().union(*(s.writes for s in members))
+            )
+            if kind == "job":
+                # invert-final always re-runs on resume, matching barrier
+                # semantics (its reducers' outputs feed collect-output).
+                done = (
+                    resume
+                    and name != "invert-final"
+                    and log is not None
+                    and log.committed(f"job:{name}")
+                )
+                make_conf = job_conf_factory(name)
+
+                def run_job_unit(wait: float, make_conf=make_conf) -> tuple:
+                    conf = make_conf()
+                    result = pipeline.execute_job(
+                        conf,
+                        parent_span=run_span,
+                        span_attrs={
+                            "schedule": "dataflow",
+                            "sched_wait_seconds": round(wait, 6),
+                        },
+                    )
+                    return (conf.name, conf.output_commit, result)
+
+                def commit_job_unit(payload: tuple) -> None:
+                    conf_name, output_commit, result = payload
+                    pipeline.commit_job(
+                        conf_name, result, output_commit=output_commit
+                    )
+
+                units.append(
+                    UnitSpec(
+                        name=name,
+                        kind="job",
+                        needs=needs,
+                        run=run_job_unit,
+                        commit=commit_job_unit,
+                        done=done,
+                    )
+                )
+            else:
+                body, flops = phase_body(name)
+                done = (
+                    resume
+                    and log is not None
+                    and log.committed(f"phase:{name}")
+                )
+
+                def run_phase_unit(
+                    wait: float, name=name, body=body, flops=flops
+                ) -> tuple:
+                    # Per-unit MasterIO: phase scoping and byte counters are
+                    # mutable per-phase state, unshareable across threads.
+                    master = MasterIO(dfs)
+                    _, phase, published = pipeline.execute_phase(
+                        name,
+                        lambda: body(master),
+                        flops=flops,
+                        io=master,
+                        parent_span=run_span,
+                        span_attrs={
+                            "schedule": "dataflow",
+                            "sched_wait_seconds": round(wait, 6),
+                        },
+                    )
+                    return (phase, published)
+
+                def commit_phase_unit(payload: tuple, name=name) -> None:
+                    phase, published = payload
+                    pipeline.commit_phase(name, phase, published)
+
+                units.append(
+                    UnitSpec(
+                        name=name,
+                        kind="phase",
+                        needs=needs,
+                        run=run_phase_unit,
+                        commit=commit_phase_unit,
+                        done=done,
+                    )
+                )
+        return units
+
+    def _invert_dataflow(
+        self, a: np.ndarray, *, resume: bool = False
+    ) -> InversionResult:
+        """Dataflow-mode :meth:`invert`: same steps, block-driven launches."""
+        from ..analysis.model import build_model
+        from ..mapreduce.scheduler import DataflowScheduler
+
+        cfg = self.config
+        if not cfg.output_commit:
+            raise ValueError(
+                "dataflow scheduling requires output_commit: step readiness "
+                "is keyed on sealed (published) blocks"
+            )
+        a = np.asarray(a, dtype=np.float64)
+        before = self.runtime.dfs.stats.snapshot()
+        tracer = resolve_tracer(cfg.telemetry)
+        with tracer.span("invert", SpanKind.RUN) as run_span:
+            if tracer.enabled:
+                run_span.set(
+                    n=a.shape[0], nb=cfg.nb, m0=cfg.m0, resume=resume,
+                    schedule="dataflow",
+                )
+            layout, pipeline, master = self._prepare(a, resume=resume)
+            model = build_model(a.shape[0], cfg)
+            units = self._dataflow_units(
+                layout,
+                pipeline,
+                model,
+                run_span if tracer.enabled else None,
+                resume=resume,
+            )
+            scheduler = DataflowScheduler(
+                dfs=self.runtime.dfs,
+                units=units,
+                model=model,
+                telemetry=cfg.telemetry,
+            )
+            report = scheduler.run()
+            inverse = self._assemble_inverse(layout, pipeline, master)
+
+        io = self.runtime.dfs.stats.snapshot() - before
+        if tracer.enabled:
+            tracer.metrics.absorb_iostats(io)
+        return InversionResult(
+            inverse=inverse,
+            plan=layout.plan,
+            layout=layout,
+            record=pipeline.record,
+            config=self.config,
+            io=io,
+            scheduler_report=report,
+        )
+
     # -- public operations ---------------------------------------------------------
 
     def invert(self, a: np.ndarray, *, resume: bool = False) -> InversionResult:
@@ -443,7 +685,15 @@ class MatrixInverter:
         ``resume=True`` continues a previous run of the same matrix on this
         runtime's DFS (e.g. after a driver crash): completed stages are
         detected by their persisted outputs and skipped.
+
+        With ``schedule="dataflow"`` (on the inversion or runtime config)
+        the same steps run under the block-availability scheduler
+        (:mod:`repro.mapreduce.scheduler`) instead of the paper's barrier
+        sequence; results and DFS end-state are identical, completion order
+        is not.
         """
+        if self._schedule_mode() == "dataflow":
+            return self._invert_dataflow(a, resume=resume)
         a = np.asarray(a, dtype=np.float64)
         before = self.runtime.dfs.stats.snapshot()
         tracer = resolve_tracer(self.config.telemetry)

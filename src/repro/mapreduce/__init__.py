@@ -50,6 +50,12 @@ from .master import AttemptFailure, JobFailedError, JobTracker, NodeHealth
 from .pipeline import MasterPhase, Pipeline, PipelineRecord
 from .retry import RetryPolicy
 from .runtime import MapReduceRuntime, RuntimeConfig
+from .scheduler import (
+    DataflowScheduler,
+    SchedulerReport,
+    SchedulerStallError,
+    UnitSpec,
+)
 from .types import (
     InputSplit,
     JobId,
@@ -65,6 +71,7 @@ __all__ = [
     "AttemptFailure",
     "ComposedFaults",
     "Counters",
+    "DataflowScheduler",
     "DelayAttempt",
     "ExecutionBackend",
     "HistoryReport",
@@ -94,8 +101,11 @@ __all__ = [
     "Reducer",
     "RetryPolicy",
     "RuntimeConfig",
+    "SchedulerReport",
+    "SchedulerStallError",
     "ScriptedFault",
     "SerialExecutor",
+    "UnitSpec",
     "TaskAttemptId",
     "TaskFactory",
     "TaskSerializationError",

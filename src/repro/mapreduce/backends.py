@@ -86,8 +86,20 @@ class ExecutionBackend(Protocol):
         self,
         thunks: Sequence[Callable[[], Any]],
         deadline: float | None = None,
+        on_outcome: Callable[[int, Any], None] | None = None,
     ) -> list[Any]:
-        """Run every thunk; return results or raised exceptions, positionally."""
+        """Run every thunk; return results or raised exceptions, positionally.
+
+        ``on_outcome(index, outcome)``, when given, is invoked in the
+        *calling* thread, exactly once per thunk, as soon as that thunk's
+        outcome is known — before ``run_all`` returns.  This is how the
+        master streams per-task completions (publish staged outputs while
+        sibling tasks still run) without the backend creating any new
+        concurrency.  An exception raised by ``on_outcome`` propagates out
+        of ``run_all``; the backend must first put its pool back in a
+        reusable state (kill or abandon this call's inflight attempts and
+        free their slots).
+        """
         ...
 
     def shutdown(self) -> None:
@@ -129,22 +141,30 @@ class SerialExecutor:
     supports_shared_memory = False
 
     def run_all(
-        self, thunks: Sequence[Callable[[], Any]], deadline: float | None = None
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        deadline: float | None = None,
+        on_outcome: Callable[[int, Any], None] | None = None,
     ) -> list[Any]:
         """Run every thunk; returns results or raised exceptions, positionally.
 
         With a ``deadline``, each thunk runs on a watchdog thread so a hung
-        attempt times out instead of stalling the wave forever.
+        attempt times out instead of stalling the wave forever.  Outcomes
+        stream to ``on_outcome`` in submission order — serial execution is
+        deterministic end to end.
         """
         results: list[Any] = []
-        for thunk in thunks:
+        for i, thunk in enumerate(thunks):
             if deadline is not None:
-                results.append(_run_with_deadline(thunk, deadline))
-                continue
-            try:
-                results.append(thunk())
-            except Exception as exc:  # collected, not raised: master decides
-                results.append(exc)
+                outcome = _run_with_deadline(thunk, deadline)
+            else:
+                try:
+                    outcome = thunk()
+                except Exception as exc:  # collected, not raised: master decides
+                    outcome = exc
+            results.append(outcome)
+            if on_outcome is not None:
+                on_outcome(i, outcome)
         return results
 
     def shutdown(self) -> None:  # noqa: B027 - interface symmetry
@@ -174,21 +194,37 @@ class ThreadPoolBackend:
         self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=max_workers)
 
     def run_all(
-        self, thunks: Sequence[Callable[[], Any]], deadline: float | None = None
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        deadline: float | None = None,
+        on_outcome: Callable[[int, Any], None] | None = None,
     ) -> list[Any]:
         if deadline is None:
-            futures = [self._pool.submit(t) for t in thunks]
-            out: list[Any] = []
-            for fut in futures:
+            futures = {
+                self._pool.submit(t): i for i, t in enumerate(thunks)
+            }
+            out: list[Any] = [None] * len(thunks)
+            # Completion order, not submission order: a fast thunk's outcome
+            # reaches on_outcome while slow siblings still run.  If
+            # on_outcome raises, the remaining futures are abandoned (same
+            # contract as a timed-out thread attempt: side effects are
+            # idempotent per-attempt staging files nobody publishes).
+            for fut in concurrent.futures.as_completed(futures):
+                i = futures[fut]
                 try:
-                    out.append(fut.result())
+                    out[i] = fut.result()
                 except Exception as exc:
-                    out.append(exc)
+                    out[i] = exc
+                if on_outcome is not None:
+                    on_outcome(i, out[i])
             return out
-        return self._run_all_with_deadline(thunks, deadline)
+        return self._run_all_with_deadline(thunks, deadline, on_outcome)
 
     def _run_all_with_deadline(
-        self, thunks: Sequence[Callable[[], Any]], deadline: float
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        deadline: float,
+        on_outcome: Callable[[int, Any], None] | None = None,
     ) -> list[Any]:
         n = len(thunks)
         started = [0.0] * n
@@ -218,25 +254,26 @@ class ThreadPoolBackend:
                 if abandoned >= self.max_workers and fut.cancel():
                     break
             if fut.cancelled():
-                results.append(
-                    TaskTimeoutError(
-                        deadline, detail="starved: pool wedged by hung attempts"
-                    )
+                outcome: Any = TaskTimeoutError(
+                    deadline, detail="starved: pool wedged by hung attempts"
                 )
-                continue
-            remaining = deadline - (time.perf_counter() - started[i])
-            try:
-                results.append(fut.result(timeout=max(remaining, 0.0)))
-            except concurrent.futures.TimeoutError:
-                # The attempt itself blew its deadline.  Threads cannot be
-                # killed: abandon it (it keeps running; its result is
-                # discarded, which is safe because attempt side effects are
-                # idempotent per-attempt staging files).
-                fut.cancel()
-                abandoned += 1
-                results.append(TaskTimeoutError(deadline))
-            except Exception as exc:
-                results.append(exc)
+            else:
+                remaining = deadline - (time.perf_counter() - started[i])
+                try:
+                    outcome = fut.result(timeout=max(remaining, 0.0))
+                except concurrent.futures.TimeoutError:
+                    # The attempt itself blew its deadline.  Threads cannot
+                    # be killed: abandon it (it keeps running; its result is
+                    # discarded, which is safe because attempt side effects
+                    # are idempotent per-attempt staging files).
+                    fut.cancel()
+                    abandoned += 1
+                    outcome = TaskTimeoutError(deadline)
+                except Exception as exc:
+                    outcome = exc
+            results.append(outcome)
+            if on_outcome is not None:
+                on_outcome(i, outcome)
         return results
 
     def shutdown(self) -> None:
@@ -367,6 +404,12 @@ class ProcessPoolBackend:
 
         resource_tracker.ensure_running()
         self._workers: list[_Worker | None] = [None] * max_workers
+        # Slot leasing: concurrent run_all calls (the dataflow scheduler
+        # drives waves of several live jobs at once) partition the worker
+        # slots instead of colliding on them.  A slot's worker is touched
+        # only by the run_all call holding its lease.
+        self._lease_cond = threading.Condition()
+        self._leased: set[int] = set()  # guarded-by: _lease_cond
         self._closed = False
 
     # -- worker lifecycle -----------------------------------------------------
@@ -408,10 +451,39 @@ class ProcessPoolBackend:
 
             destroy_segment(name)
 
+    # -- slot leasing ---------------------------------------------------------
+
+    def _lease_slots(self, want: int, holding: int) -> list[int]:
+        """Lease up to ``want`` free worker slots.
+
+        Blocks only when this call holds nothing at all (``holding == 0``)
+        and every slot is leased to a concurrent ``run_all`` — otherwise
+        progress comes from the caller's own inflight attempts, so an empty
+        grab returns immediately.
+        """
+        with self._lease_cond:
+            while True:
+                free = [
+                    s for s in range(self.max_workers) if s not in self._leased
+                ]
+                if free or holding:
+                    taken = free[:want]
+                    self._leased.update(taken)
+                    return taken
+                self._lease_cond.wait()  # lint: ignore[CN006] - idiomatic condition wait
+
+    def _release_slot(self, slot: int) -> None:
+        with self._lease_cond:
+            self._leased.discard(slot)
+            self._lease_cond.notify_all()
+
     # -- execution ------------------------------------------------------------
 
     def run_all(
-        self, thunks: Sequence[Callable[[], Any]], deadline: float | None = None
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        deadline: float | None = None,
+        on_outcome: Callable[[int, Any], None] | None = None,
     ) -> list[Any]:
         if self._closed:
             raise RuntimeError("backend is shut down")
@@ -419,74 +491,108 @@ class ProcessPoolBackend:
         results: list[Any] = [None] * n
         pending = deque(range(n))
         inflight: dict[int, tuple[int, float]] = {}  # slot -> (task, start)
-        while pending or inflight:
-            free = [
-                s
-                for s in range(self.max_workers)
-                if s not in inflight
-            ]
-            for slot in free:
-                if not pending:
-                    break
-                idx = pending.popleft()
-                try:
-                    worker = self._ensure_worker(slot)
-                    worker.conn.send((idx, thunks[idx]))
-                except Exception as exc:
-                    # Connection.send pickles before writing any bytes, so a
-                    # pickling failure leaves the worker clean and fails only
-                    # this task.
-                    results[idx] = TaskSerializationError(
-                        f"task could not be shipped to a worker process: "
-                        f"{exc!r}; run `python -m repro lint --procsafety` "
-                        f"to find the unpicklable capture"
-                    )
-                    continue
-                inflight[slot] = (idx, time.perf_counter())
-            if not inflight:
-                continue
-            timeout = None
-            if deadline is not None:
-                now = time.perf_counter()
-                timeout = max(
-                    0.0,
-                    min(start for _, start in inflight.values())
-                    + deadline
-                    - now,
+
+        def settle(idx: int, outcome: Any) -> None:
+            results[idx] = outcome
+            if on_outcome is not None:
+                on_outcome(idx, outcome)
+
+        try:
+            while pending or inflight:
+                slots = (
+                    self._lease_slots(len(pending), len(inflight))
+                    if pending
+                    else []
                 )
-            conn_to_slot = {
-                self._workers[slot].conn: slot for slot in inflight
-            }
-            ready = multiprocessing.connection.wait(
-                list(conn_to_slot), timeout=timeout
-            )
-            for conn in ready:
-                slot = conn_to_slot[conn]
-                idx, _start = inflight.pop(slot)
-                try:
-                    _tag, _seq, value = conn.recv()
-                except (EOFError, OSError):
-                    exitcode = self._workers[slot].proc.exitcode
-                    results[idx] = WorkerCrashError(
-                        f"worker process died mid-attempt "
-                        f"(exit code {exitcode})"
-                    )
-                    self._dispose_worker(slot, kill=False)
-                    self._scrub_result_segment(thunks[idx])
-                    continue
-                results[idx] = value
-            if deadline is not None:
-                now = time.perf_counter()
-                for slot, (idx, start) in list(inflight.items()):
-                    if now - start >= deadline:
-                        del inflight[slot]
-                        # A real kill, not an abandoned thread: terminate
-                        # the worker and replace it at next dispatch.
-                        self._dispose_worker(slot, kill=True)
-                        self._scrub_result_segment(thunks[idx])
-                        results[idx] = TaskTimeoutError(
-                            deadline, detail="attempt killed"
+                for slot in slots:
+                    if not pending:
+                        self._release_slot(slot)
+                        continue
+                    idx = pending.popleft()
+                    try:
+                        worker = self._ensure_worker(slot)
+                        worker.conn.send((idx, thunks[idx]))
+                    except Exception as exc:
+                        # Connection.send pickles before writing any bytes,
+                        # so a pickling failure leaves the worker clean and
+                        # fails only this task.
+                        self._release_slot(slot)
+                        settle(
+                            idx,
+                            TaskSerializationError(
+                                f"task could not be shipped to a worker "
+                                f"process: {exc!r}; run `python -m repro "
+                                f"lint --procsafety` to find the "
+                                f"unpicklable capture"
+                            ),
                         )
+                        continue
+                    inflight[slot] = (idx, time.perf_counter())
+                if not inflight:
+                    continue
+                timeout = None
+                if deadline is not None:
+                    now = time.perf_counter()
+                    timeout = max(
+                        0.0,
+                        min(start for _, start in inflight.values())
+                        + deadline
+                        - now,
+                    )
+                conn_to_slot = {
+                    self._workers[slot].conn: slot for slot in inflight
+                }
+                ready = multiprocessing.connection.wait(
+                    list(conn_to_slot), timeout=timeout
+                )
+                for conn in ready:
+                    slot = conn_to_slot[conn]
+                    idx, _start = inflight.pop(slot)
+                    try:
+                        _tag, _seq, value = conn.recv()
+                    except (EOFError, OSError):
+                        exitcode = self._workers[slot].proc.exitcode
+                        self._dispose_worker(slot, kill=False)
+                        self._scrub_result_segment(thunks[idx])
+                        self._release_slot(slot)
+                        settle(
+                            idx,
+                            WorkerCrashError(
+                                f"worker process died mid-attempt "
+                                f"(exit code {exitcode})"
+                            ),
+                        )
+                        continue
+                    self._release_slot(slot)
+                    settle(idx, value)
+                if deadline is not None:
+                    now = time.perf_counter()
+                    for slot, (idx, start) in list(inflight.items()):
+                        if now - start >= deadline:
+                            del inflight[slot]
+                            # A real kill, not an abandoned thread:
+                            # terminate the worker and replace it at next
+                            # dispatch.
+                            self._dispose_worker(slot, kill=True)
+                            self._scrub_result_segment(thunks[idx])
+                            self._release_slot(slot)
+                            settle(
+                                idx,
+                                TaskTimeoutError(
+                                    deadline, detail="attempt killed"
+                                ),
+                            )
+        except BaseException:
+            # A fatal error propagating out of on_outcome (an injected
+            # driver crash, a poisoned wave) — or a KeyboardInterrupt.
+            # Leave the pool reusable: kill this call's inflight workers so
+            # their half-finished attempts can never surface later, scrub
+            # the result segments they may have created, free the leases.
+            for slot, (idx, _start) in list(inflight.items()):
+                self._dispose_worker(slot, kill=True)
+                self._scrub_result_segment(thunks[idx])
+                self._release_slot(slot)
+            raise
         return results
 
     def shutdown(self) -> None:

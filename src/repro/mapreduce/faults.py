@@ -24,6 +24,39 @@ class InjectedTaskFailure(RuntimeError):
 class FaultPolicy:
     """Base policy: never fails anything."""
 
+    def note_job(self, job_id, name: str) -> None:
+        """Register ``name`` as the job running under ``job_id``.
+
+        The master calls this at phase start so name-scoped policies
+        (``job_substring`` matching) resolve each attempt against *its own*
+        job's name via :meth:`job_name_for`.  Under the dataflow scheduler
+        several jobs run concurrently, so a single mutable ``job_name``
+        slot would race; the per-job map does not.  No lock: the write and
+        every read for one ``job_id`` happen in (or are fenced by) the
+        thread driving that job's phases.
+        """
+        # __dict__ directly: works for plain and frozen policy classes.
+        names = self.__dict__.setdefault("_job_names", {})
+        names[job_id] = name
+        # Legacy slot: hand-written policies (tests, notebooks) read
+        # ``self.job_name`` in should_fail.  Last-writer-wins is the old
+        # single-slot behaviour; name-scoped code uses job_name_for instead.
+        self.__dict__["job_name"] = name
+
+    def job_name_for(self, attempt: TaskAttemptId) -> str:
+        """The name of the job ``attempt`` belongs to (``""`` if unknown).
+
+        Prefers :meth:`note_job` registrations; falls back to the legacy
+        mutable ``job_name`` attribute so policies configured by hand in
+        tests keep working.
+        """
+        names = self.__dict__.get("_job_names")
+        if names is not None:
+            name = names.get(attempt.task.job)
+            if name is not None:
+                return name
+        return getattr(self, "job_name", None) or ""
+
     def should_fail(self, attempt: TaskAttemptId) -> bool:
         return False
 
@@ -120,8 +153,7 @@ class FailOnce(FaultPolicy):
             return False
         if attempt.attempt != self.failing_attempt:
             return False
-        name = self.job_name or ""
-        if self.job_substring not in name:
+        if self.job_substring not in self.job_name_for(attempt):
             return False
         with self._lock:
             tag = str(attempt)
@@ -185,7 +217,7 @@ class FailOnNode(FaultPolicy):
             return False
         if self.kind is not None and attempt.task.kind is not self.kind:
             return False
-        return self.job_substring in (self.job_name or "")
+        return self.job_substring in self.job_name_for(attempt)
 
 
 @dataclass
@@ -215,7 +247,7 @@ class DelayAttempt(FaultPolicy):
             return False
         if attempt.attempt >= self.attempts_below:
             return False
-        return self.job_substring in (self.job_name or "")
+        return self.job_substring in self.job_name_for(attempt)
 
     def maybe_fail(self, attempt: TaskAttemptId, node: int | None = None) -> None:
         if self.should_delay(attempt):
@@ -252,6 +284,11 @@ class ComposedFaults(FaultPolicy):
         for policy in self.policies:
             if hasattr(policy, "job_name"):
                 policy.job_name = name
+
+    def note_job(self, job_id, name: str) -> None:
+        super().note_job(job_id, name)
+        for policy in self.policies:
+            policy.note_job(job_id, name)
 
     def maybe_fail(self, attempt: TaskAttemptId, node: int | None = None) -> None:
         for policy in self.policies:

@@ -263,22 +263,42 @@ class JobTracker:
         #: Lazily-built shared-memory exporter for out-of-process backends
         #: (:class:`~repro.dfs.shm.ShmExporter`); segments live for the
         #: tracker's lifetime and are retired by :meth:`shutdown`.
+        #: Guarded by ``_exporter_lock``: the dataflow scheduler drives
+        #: waves of several jobs concurrently and ShmExporter has no
+        #: internal locking.
         self._exporter = None
+        self._exporter_lock = threading.Lock()
+        #: Whether the backend streams per-completion outcomes; custom
+        #: backends without the ``on_outcome`` parameter fall back to
+        #: post-wave processing.
+        self._streams_outcomes = self._accepts_on_outcome(executor)
+
+    @staticmethod
+    def _accepts_on_outcome(executor: ExecutionBackend) -> bool:
+        import inspect
+
+        try:
+            sig = inspect.signature(executor.run_all)
+        except (TypeError, ValueError):  # pragma: no cover - C callables
+            return False
+        return "on_outcome" in sig.parameters
 
     def shutdown(self) -> None:
         """Retire tracker-owned resources (shared-memory exports)."""
-        if self._exporter is not None:
-            self._exporter.close()
-            self._exporter = None
+        with self._exporter_lock:
+            if self._exporter is not None:
+                self._exporter.close()
+                self._exporter = None
 
     def _export_namespace(self):
         """Sync the sealed namespace into shared segments (out-of-process
         dispatch); generation-keyed, so unchanged files are free."""
-        if self._exporter is None:
-            from ..dfs.shm import ShmExporter
+        with self._exporter_lock:
+            if self._exporter is None:
+                from ..dfs.shm import ShmExporter
 
-            self._exporter = ShmExporter(self.dfs)
-        return self._exporter.sync()
+                self._exporter = ShmExporter(self.dfs)
+            return self._exporter.sync()
 
     def _absorb_remote(
         self,
@@ -371,9 +391,10 @@ class JobTracker:
         the attempt nest under them; the parent is passed explicitly because
         worker threads do not inherit the driver's context.
         """
-        # Tell name-aware fault policies which job is running.
-        if hasattr(self.fault_policy, "job_name"):
-            self.fault_policy.job_name = conf.name
+        # Register this job's name so name-aware fault policies resolve each
+        # attempt against *its own* job, even when the dataflow scheduler
+        # interleaves attempts of several live jobs.
+        self.fault_policy.note_job(job_id, conf.name)
 
         # Out-of-process backends get picklable descriptors instead of
         # closures; fail fast (with the procsafety pointer) if they can't.
@@ -491,6 +512,8 @@ class JobTracker:
                 if tracer.enabled
                 else nullcontext(None)
             )
+            still_pending: set[int] = set(pending)
+            wave_timed_out: set[int] = set()
             with wave_ctx as wave_span:
                 if in_process:
                     thunks = [
@@ -514,73 +537,97 @@ class JobTracker:
                         for idx, attempt_id, node in wave
                     ]
                 stats.launched += len(thunks)
-                outcomes = self.executor.run_all(thunks, deadline=deadline)
-                if not in_process:
-                    outcomes = [
-                        self._absorb_remote(
+
+                def process_outcome(pos: int, outcome: Any) -> None:
+                    """Land one attempt outcome the moment it is known.
+
+                    Runs in the driver thread (the backend's ``on_outcome``
+                    contract), so the bookkeeping needs no locks.  Publishing
+                    the winner's staged files *here* — while sibling attempts
+                    of the same wave still run — is what lets a dataflow
+                    scheduler start downstream tasks before this phase ends.
+                    """
+                    idx, attempt_id, node = wave[pos]
+                    if not in_process:
+                        outcome = self._absorb_remote(
                             outcome, idx, attempt_id, node, kind,
                             tracer, wave_span, attempt_spans,
                         )
-                        for (idx, attempt_id, node), outcome in zip(
-                            wave, outcomes
+                    if isinstance(outcome, Exception):
+                        if getattr(outcome, "fatal", False):
+                            # Non-retryable (e.g. an injected driver crash):
+                            # propagate immediately — no cleanup, exactly as
+                            # if the master process died at this point.  The
+                            # backend kills or abandons the wave's other
+                            # inflight attempts on the way out.
+                            raise outcome
+                        stats.failed += 1
+                        timed_out = isinstance(outcome, TaskTimeoutError)
+                        if timed_out:
+                            stats.timeouts += 1
+                            # on_outcome runs in the driver thread (backend
+                            # contract), so these mutations are single-threaded.
+                            wave_timed_out.add(idx)  # lint: ignore[CN008]
+                        with spans_lock:
+                            failed_span = attempt_spans.get(
+                                (idx, attempt_id.attempt)
+                            )
+                        failures[idx].append(
+                            AttemptFailure(
+                                attempt=attempt_id,
+                                node=node,
+                                error=outcome,
+                                timed_out=timed_out,
+                                span_id=(
+                                    failed_span.span_id if failed_span else None
+                                ),
+                            )
                         )
-                    ]
+                        last_failed_node[idx] = node  # lint: ignore[CN008]
+                        self.node_health.record_failure(node)
+                        # Roll back whatever the failed attempt staged (a
+                        # timed-out zombie may re-create debris afterwards;
+                        # it stays invisible under /_tmp until fsck).
+                        self.dfs.discard_staging(
+                            staging_dir(f"attempt-{attempt_id}")
+                        )
+                        return
+                    self.node_health.record_success(node)
+                    staged = getattr(outcome, "staged", None)
+                    if idx in still_pending:
+                        # First success wins; later duplicates are discarded.
+                        # Task commit: atomically publish the winner's staged
+                        # files to their final paths before recording success.
+                        if staged:
+                            self.dfs.publish(list(staged))
+                            stats.published.extend(dst for _, dst in staged)
+                        results[idx] = outcome  # lint: ignore[CN008]
+                        still_pending.discard(idx)  # lint: ignore[CN008]
+                        # Stamp the winning attempt so reconciliation counts
+                        # each task's bytes exactly once even under
+                        # speculation.
+                        with spans_lock:
+                            won = attempt_spans.get((idx, attempt_id.attempt))
+                        if won is not None:
+                            won.set(committed=True)
+                    if staged is not None:
+                        self.dfs.discard_staging(
+                            staging_dir(f"attempt-{attempt_id}")
+                        )
+
+                if self._streams_outcomes:
+                    self.executor.run_all(
+                        thunks, deadline=deadline, on_outcome=process_outcome
+                    )
+                else:
+                    # Custom backend without the streaming hook: classic
+                    # post-wave processing, in submission order.
+                    outcomes = self.executor.run_all(thunks, deadline=deadline)
+                    for pos, outcome in enumerate(outcomes):
+                        process_outcome(pos, outcome)
             wave_no += 1
             self.node_health.tick()
 
-            still_pending: set[int] = set(pending)
-            timed_out_tasks = set()
-            for (idx, attempt_id, node), outcome in zip(wave, outcomes):
-                if isinstance(outcome, Exception):
-                    if getattr(outcome, "fatal", False):
-                        # Non-retryable (e.g. an injected driver crash):
-                        # propagate immediately — no cleanup, exactly as if
-                        # the master process died at this point.
-                        raise outcome
-                    stats.failed += 1
-                    timed_out = isinstance(outcome, TaskTimeoutError)
-                    if timed_out:
-                        stats.timeouts += 1
-                        timed_out_tasks.add(idx)
-                    failed_span = attempt_spans.get((idx, attempt_id.attempt))
-                    failures[idx].append(
-                        AttemptFailure(
-                            attempt=attempt_id,
-                            node=node,
-                            error=outcome,
-                            timed_out=timed_out,
-                            span_id=failed_span.span_id if failed_span else None,
-                        )
-                    )
-                    last_failed_node[idx] = node
-                    self.node_health.record_failure(node)
-                    # Roll back whatever the failed attempt staged (a
-                    # timed-out zombie may re-create debris afterwards;
-                    # it stays invisible under /_tmp until fsck).
-                    self.dfs.discard_staging(
-                        staging_dir(f"attempt-{attempt_id}")
-                    )
-                    continue
-                self.node_health.record_success(node)
-                staged = getattr(outcome, "staged", None)
-                if idx in still_pending:
-                    # First success wins; later duplicates are discarded.
-                    # Task commit: atomically publish the winner's staged
-                    # files to their final paths before recording success.
-                    if staged:
-                        self.dfs.publish(list(staged))
-                        stats.published.extend(dst for _, dst in staged)
-                    results[idx] = outcome
-                    still_pending.discard(idx)
-                    # Stamp the winning attempt so reconciliation counts each
-                    # task's bytes exactly once even under speculation.
-                    won = attempt_spans.get((idx, attempt_id.attempt))
-                    if won is not None:
-                        won.set(committed=True)
-                if staged is not None:
-                    self.dfs.discard_staging(
-                        staging_dir(f"attempt-{attempt_id}")
-                    )
             exhausted = [
                 idx
                 for idx in still_pending
@@ -589,7 +636,7 @@ class JobTracker:
             if exhausted:
                 fail_permanently(exhausted[0])
             pending = sorted(still_pending)
-            timed_out_tasks &= still_pending
+            timed_out_tasks = wave_timed_out & still_pending
 
         stats.retries = {
             idx: attempts - 1

@@ -12,6 +12,7 @@ Section 6.1 discussion.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, Sequence
@@ -107,9 +108,29 @@ class Pipeline:
         self.commit_log = commit_log
         self.output_commit = output_commit
         self.record = PipelineRecord()
-        self._phase_seq = 0
+        self._phase_seq = 0  # guarded-by: _seq_lock
+        # Only contended by the dataflow scheduler, whose unit threads open
+        # phase scopes concurrently; barrier mode is single-threaded here.
+        self._seq_lock = threading.Lock()
 
-    def run_job(self, conf: JobConf) -> JobResult:
+    # -- execute / commit split --------------------------------------------------
+    #
+    # ``run_job``/``master_phase`` execute AND commit in one call — the
+    # barrier pipeline's behaviour.  The dataflow scheduler needs the two
+    # halves apart: ``execute_*`` runs the step (publishing its data blocks
+    # immediately, from a unit thread), while ``commit_*`` — the record
+    # append and manifest write — is deferred to the scheduler's plan-order
+    # flusher so ``record.steps`` and the ``job:``/``phase:`` manifests stay
+    # in deterministic plan order under concurrent completion.
+
+    def execute_job(
+        self,
+        conf: JobConf,
+        *,
+        parent_span=None,
+        span_attrs: dict | None = None,
+    ) -> JobResult:
+        """Stamp defaults, validate, and run ``conf`` — without committing."""
         if self.retry_policy is not None and conf.retry_policy is None:
             conf.retry_policy = self.retry_policy
         if self.max_attempts is not None:
@@ -119,13 +140,24 @@ class Pipeline:
         conf.output_commit = conf.output_commit and self.output_commit
         for validate in self.validators:
             validate(conf)
-        result = self.runtime.run_job(conf)
+        return self.runtime.run_job(
+            conf, parent_span=parent_span, span_attrs=span_attrs
+        )
+
+    def commit_job(
+        self, name: str, result: JobResult, *, output_commit: bool = True
+    ) -> None:
+        """Record ``result`` and write the job's durable done-marker."""
         self.record.steps.append(result)
-        if self.commit_log is not None and conf.output_commit:
+        if self.commit_log is not None and output_commit:
             # Written last: the job's durable done-marker.  A crash anywhere
             # before this line makes resume re-run the job (idempotently —
             # re-publishing overwrites the same final paths).
-            self.commit_log.record(f"job:{conf.name}", result.published_paths)
+            self.commit_log.record(f"job:{name}", result.published_paths)
+
+    def run_job(self, conf: JobConf) -> JobResult:
+        result = self.execute_job(conf)
+        self.commit_job(conf.name, result, output_commit=conf.output_commit)
         return result
 
     def master_phase(
@@ -151,17 +183,7 @@ class Pipeline:
         staged, published atomically after ``fn`` returns, and recorded in
         a ``phase:<name>`` manifest — the phase's durable done-marker.
         """
-        scope: CommitScope | None = None
-        if (
-            self.commit_log is not None
-            and io is not None
-            and hasattr(io, "begin_phase")
-        ):
-            self._phase_seq += 1
-            scope = CommitScope(
-                self.runtime.dfs, f"phase-{self._phase_seq}-{_quote(name)}"
-            )
-            io.begin_phase(scope)
+        scope = self._open_phase_scope(name, io)
 
         def run() -> Any:
             result = fn()
@@ -200,3 +222,97 @@ class Pipeline:
         )
         self.record.steps.append(phase)
         return out
+
+    def _open_phase_scope(
+        self, name: str, io: PhaseIO | None
+    ) -> CommitScope | None:
+        if (
+            self.commit_log is None
+            or io is None
+            or not hasattr(io, "begin_phase")
+        ):
+            return None
+        with self._seq_lock:
+            self._phase_seq += 1
+            seq = self._phase_seq
+        scope = CommitScope(self.runtime.dfs, f"phase-{seq}-{_quote(name)}")
+        io.begin_phase(scope)
+        return scope
+
+    def execute_phase(
+        self,
+        name: str,
+        fn: Callable[[], Any],
+        *,
+        flops: float = 0.0,
+        bytes_read: int = 0,
+        bytes_written: int = 0,
+        io: PhaseIO | None = None,
+        parent_span=None,
+        span_attrs: dict | None = None,
+    ) -> tuple[Any, MasterPhase, list[str] | None]:
+        """Run a master phase and publish its writes — without committing.
+
+        The dataflow half of :meth:`master_phase`: the phase's staged writes
+        are published atomically the moment ``fn`` returns (so dependents'
+        readiness can fire), but the record append and ``phase:`` manifest
+        are left to :meth:`commit_phase`, which the scheduler calls in plan
+        order.  Returns ``(fn's result, the MasterPhase record, published
+        paths)`` — published is ``None`` when no commit scope applied (no
+        commit log, or ``io`` without phase scoping).
+
+        ``parent_span`` pins the MASTER_PHASE span's parent explicitly
+        (required from scheduler unit threads, which do not inherit the
+        driving thread's ambient span).
+        """
+        scope = self._open_phase_scope(name, io)
+        published: list[str] | None = None if scope is None else []
+
+        def run() -> Any:
+            result = fn()
+            if scope is not None:
+                # Publish now — downstream readiness keys on the seal; the
+                # manifest (the durable done-marker) waits for plan order.
+                published.extend(scope.publish())
+                io.end_phase()
+            return result
+
+        tracer = resolve_tracer(self.telemetry)
+        start = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span(
+                name,
+                SpanKind.MASTER_PHASE,
+                parent=parent_span,
+                attrs=dict(span_attrs) if span_attrs else None,
+            ) as span:
+                out = run()
+                if io is not None:
+                    r, w = io.take_io()
+                    bytes_read += r
+                    bytes_written += w
+                span.set(
+                    bytes_read=bytes_read, bytes_written=bytes_written, flops=flops
+                )
+        else:
+            out = run()
+            if io is not None:
+                r, w = io.take_io()
+                bytes_read += r
+                bytes_written += w
+        phase = MasterPhase(
+            name=name,
+            flops=flops,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            wall_seconds=time.perf_counter() - start,
+        )
+        return out, phase, published
+
+    def commit_phase(
+        self, name: str, phase: MasterPhase, published: list[str] | None
+    ) -> None:
+        """Record an executed phase and write its ``phase:`` manifest."""
+        self.record.steps.append(phase)
+        if self.commit_log is not None and published is not None:
+            self.commit_log.record(f"phase:{name}", published)

@@ -22,6 +22,7 @@ Fault-tolerance plumbing lives here too:
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -43,6 +44,11 @@ class RuntimeConfig:
 
     num_workers: int = 4
     executor: str = "serial"  # "serial" | "threads" | "processes"
+    #: Inter-step scheduling mode for pipelines driven on this runtime:
+    #: ``"barrier"`` (default, the paper's strictly synchronized job
+    #: sequence) or ``"dataflow"`` (launch each step when its input blocks
+    #: are published — :mod:`repro.mapreduce.scheduler`).
+    schedule: str = "barrier"
     job_launch_overhead: float = 1.0  # simulated seconds per job (Section 5)
     speculative: bool = False
     #: Run a DFS repair pass before a job when the topology changed
@@ -65,6 +71,11 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.schedule not in ("barrier", "dataflow"):
+            raise ValueError(
+                f"unknown schedule {self.schedule!r} "
+                "(use 'barrier' or 'dataflow')"
+            )
         if self.block_cache_bytes < 0:
             raise ValueError("block_cache_bytes must be >= 0")
         if self.job_launch_overhead < 0:
@@ -99,6 +110,10 @@ class MapReduceRuntime:
             blacklist_window=self.config.blacklist_window,
         )
         self._job_ids = itertools.count(1)
+        # Serializes the launch preamble (before_job hooks, auto-repair,
+        # job-id allocation) and history appends when the dataflow
+        # scheduler launches jobs from several unit threads at once.
+        self._launch_lock = threading.Lock()
         self.history: list[JobResult] = []
         #: Hooks invoked with the JobConf before each launch (chaos nemeses,
         #: schedulers).  A hook that raises aborts the launch.
@@ -125,21 +140,38 @@ class MapReduceRuntime:
         self._repair_epoch = epoch
         self.repair_log.append(self.dfs.health_monitor().repair())
 
-    def run_job(self, conf: JobConf) -> JobResult:
-        """Run one job to completion; raises JobFailedError on permanent failure."""
-        for hook in list(self.before_job):
-            hook(conf)
-        self._maybe_auto_repair()
-        job_id = JobId(next(self._job_ids))
+    def run_job(
+        self,
+        conf: JobConf,
+        *,
+        parent_span=None,
+        span_attrs: dict | None = None,
+    ) -> JobResult:
+        """Run one job to completion; raises JobFailedError on permanent failure.
+
+        ``parent_span`` pins the JOB span's parent explicitly — required
+        when the caller runs in a scheduler unit thread, where the ambient
+        (contextvar) parent of the opening thread is not inherited.
+        ``span_attrs`` adds attributes (the scheduler stamps its
+        ready→launch wait here).
+        """
+        with self._launch_lock:
+            for hook in list(self.before_job):
+                hook(conf)
+            self._maybe_auto_repair()
+            job_id = JobId(next(self._job_ids))
         tracer = resolve_tracer(
             conf.telemetry if conf.telemetry is not None else self.config.telemetry
         )
+        attrs = {"job": str(job_id)}
+        if span_attrs:
+            attrs.update(span_attrs)
         start = time.perf_counter()
         if not tracer.enabled:
             result = self._tracker.run_job(conf, job_id)
         else:
             with tracer.span(
-                conf.name, SpanKind.JOB, attrs={"job": str(job_id)}
+                conf.name, SpanKind.JOB, attrs=attrs, parent=parent_span
             ) as job_span:
                 result = self._tracker.run_job(
                     conf, job_id, tracer=tracer, job_span=job_span
@@ -150,7 +182,8 @@ class MapReduceRuntime:
                 )
             tracer.metrics.absorb_counters(result.counters)
         result.wall_seconds = time.perf_counter() - start
-        self.history.append(result)
+        with self._launch_lock:
+            self.history.append(result)
         return result
 
     def jobs_run(self) -> int:

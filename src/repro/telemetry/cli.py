@@ -33,6 +33,7 @@ def run_traced_inversion(
     m0: int,
     seed: int = 0,
     executor: str = "serial",
+    schedule: str = "barrier",
     jsonl: str | None = None,
     tolerance: float = 0.01,
 ) -> "tuple[Observation, InversionResult, ReconciliationReport]":
@@ -53,7 +54,8 @@ def run_traced_inversion(
     try:
         with obs:
             inverter = MatrixInverter(
-                config=InversionConfig(nb=nb, m0=m0), runtime=runtime
+                config=InversionConfig(nb=nb, m0=m0, schedule=schedule),
+                runtime=runtime,
             )
             result = inverter.invert(a)
     finally:
@@ -124,6 +126,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--executor", choices=("serial", "threads", "processes"), default="serial"
     )
     parser.add_argument(
+        "--scheduler",
+        choices=("barrier", "dataflow"),
+        default="barrier",
+        help="inter-job scheduling mode (dataflow launches steps on block "
+        "availability; reconciliation must close either way)",
+    )
+    parser.add_argument(
         "--jsonl", metavar="PATH", help="also stream spans to PATH as JSON lines"
     )
     parser.add_argument(
@@ -146,6 +155,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         m0=args.m0,
         seed=args.seed,
         executor=args.executor,
+        schedule=args.scheduler,
         jsonl=args.jsonl,
         tolerance=args.tolerance,
     )
